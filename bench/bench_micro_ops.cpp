@@ -1,0 +1,126 @@
+// Micro-benchmarks of the primitives on FTC's per-packet path, using
+// google-benchmark. Not a paper figure; supports Table 2's interpretation
+// by costing each building block in isolation.
+#include <benchmark/benchmark.h>
+
+#include "core/piggyback.hpp"
+#include "core/stores.hpp"
+#include "packet/packet_io.hpp"
+#include "packet/packet_pool.hpp"
+#include "runtime/mpmc_queue.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "state/txn.hpp"
+
+namespace {
+
+using namespace sfc;
+
+void BM_SpscQueuePushPop(benchmark::State& state) {
+  rt::SpscQueue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.try_push(v++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+}
+BENCHMARK(BM_SpscQueuePushPop);
+
+void BM_MpmcQueuePushPop(benchmark::State& state) {
+  rt::MpmcQueue<std::uint64_t> q(1024);
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    q.try_push(v++);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+}
+BENCHMARK(BM_MpmcQueuePushPop);
+
+void BM_PacketBuildParse(benchmark::State& state) {
+  pkt::Packet p;
+  const pkt::FlowKey flow{0x0a000001, 0x08080808, 1234, 80,
+                          pkt::Ipv4Header::kProtoUdp};
+  for (auto _ : state) {
+    pkt::PacketBuilder(p).udp(flow, 256);
+    benchmark::DoNotOptimize(pkt::parse_packet(p));
+  }
+}
+BENCHMARK(BM_PacketBuildParse);
+
+void BM_TxnReadOnly(benchmark::State& state) {
+  state::StateStore store(16);
+  state::TxnContext ctx(store);
+  state::run_transaction(ctx, [](state::Txn& t) {
+    t.write(7, state::Bytes::of<std::uint64_t>(1));
+  });
+  for (auto _ : state) {
+    auto rec = state::run_transaction(ctx, [](state::Txn& t) {
+      benchmark::DoNotOptimize(t.read(7));
+    });
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_TxnReadOnly);
+
+void BM_TxnCounterIncrement(benchmark::State& state) {
+  state::StateStore store(16);
+  state::TxnContext ctx(store);
+  for (auto _ : state) {
+    auto rec = state::run_transaction(
+        ctx, [](state::Txn& t) { t.fetch_add(7, 1); });
+    benchmark::DoNotOptimize(rec);
+  }
+}
+BENCHMARK(BM_TxnCounterIncrement);
+
+void BM_PiggybackAppendExtract(benchmark::State& state) {
+  const auto value_size = static_cast<std::size_t>(state.range(0));
+  pkt::Packet p;
+  const pkt::FlowKey flow{0x0a000001, 0x08080808, 1234, 80,
+                          pkt::Ipv4Header::kProtoUdp};
+  pkt::PacketBuilder(p).udp(flow, 256);
+
+  ftc::PiggybackMessage msg;
+  ftc::PiggybackLog log;
+  log.mbox = 1;
+  log.dep.mask = 1;
+  log.dep.seq[0] = 42;
+  std::vector<std::uint8_t> value(value_size, 0xab);
+  log.writes.push_back({7, state::Bytes(value.data(), value.size()), false});
+  msg.logs.push_back(log);
+
+  for (auto _ : state) {
+    ftc::append_message(p, msg, 16);
+    benchmark::DoNotOptimize(ftc::extract_message(p));
+  }
+}
+BENCHMARK(BM_PiggybackAppendExtract)->Arg(32)->Arg(128)->Arg(256);
+
+void BM_ApplierOffer(benchmark::State& state) {
+  ftc::ChainConfig cfg;
+  ftc::InOrderApplier applier(0, cfg);
+  std::uint64_t seq = 0;
+  ftc::PiggybackLog log;
+  log.mbox = 0;
+  log.dep.mask = 1ULL << applier.store().partition_of(7);
+  log.writes.push_back({7, state::Bytes::of<std::uint64_t>(1), false});
+  const auto p = applier.store().partition_of(7);
+  for (auto _ : state) {
+    log.dep.seq[p] = ++seq;
+    benchmark::DoNotOptimize(applier.offer(log));
+  }
+}
+BENCHMARK(BM_ApplierOffer);
+
+void BM_PoolAllocFree(benchmark::State& state) {
+  pkt::PacketPool pool(256);
+  for (auto _ : state) {
+    pkt::Packet* p = pool.alloc_raw();
+    benchmark::DoNotOptimize(p);
+    pool.free_raw(p);
+  }
+}
+BENCHMARK(BM_PoolAllocFree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,211 @@
+// Shared helpers for the paper-reproduction benchmarks.
+//
+// Each bench_* binary regenerates one table or figure of the FTC paper
+// (SIGCOMM'20): it builds the chains of Table 1, drives them with the
+// tgen workloads, and prints the same rows/series the paper reports,
+// alongside the paper's published values. Absolute numbers differ (the
+// paper ran on a 12-server 40 GbE DPDK cluster; this harness runs a
+// simulated cluster on one host) — the comparison targets the *shape*:
+// system ordering, ratios, and trends.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "mbox/firewall.hpp"
+#include "mbox/gen.hpp"
+#include "mbox/monitor.hpp"
+#include "mbox/nat.hpp"
+#include "orch/orchestrator.hpp"
+#include "tgen/traffic.hpp"
+
+namespace sfc::bench {
+
+using ftc::ChainMode;
+using ftc::ChainRuntime;
+using ftc::FtcNode;
+
+/// Measurement window per data point. Override with FTC_BENCH_SECONDS.
+inline double point_seconds() {
+  if (const char* env = std::getenv("FTC_BENCH_SECONDS")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return 0.6;
+}
+
+inline double warmup_seconds() { return 0.25; }
+
+// --- Middlebox factories (Table 1). ---
+
+inline FtcNode::MboxFactory monitor(std::uint32_t sharing_level) {
+  return [sharing_level]() -> std::unique_ptr<mbox::Middlebox> {
+    return std::make_unique<mbox::Monitor>(sharing_level);
+  };
+}
+
+inline FtcNode::MboxFactory mazu_nat() {
+  return []() -> std::unique_ptr<mbox::Middlebox> {
+    return std::make_unique<mbox::MazuNat>();
+  };
+}
+
+inline FtcNode::MboxFactory simple_nat() {
+  return []() -> std::unique_ptr<mbox::Middlebox> {
+    return std::make_unique<mbox::SimpleNat>();
+  };
+}
+
+inline FtcNode::MboxFactory gen(std::uint32_t state_size) {
+  return [state_size]() -> std::unique_ptr<mbox::Middlebox> {
+    return std::make_unique<mbox::Gen>(state_size);
+  };
+}
+
+inline FtcNode::MboxFactory firewall() {
+  return []() -> std::unique_ptr<mbox::Middlebox> {
+    return std::make_unique<mbox::Firewall>();
+  };
+}
+
+/// Chain spec with the defaults used throughout the evaluation: f=1,
+/// 16 state partitions, 256 B packets (overridden per experiment).
+inline ChainRuntime::Spec base_spec(ChainMode mode,
+                                    std::vector<FtcNode::MboxFactory> mboxes,
+                                    std::size_t threads = 1,
+                                    std::uint32_t f = 1) {
+  ChainRuntime::Spec spec;
+  spec.mode = mode;
+  spec.cfg.f = f;
+  spec.cfg.threads_per_node = threads;
+  spec.cfg.num_partitions = 16;
+  spec.cfg.pool_packets = 4096;
+  spec.cfg.propagate_interval_ns = 100'000;
+  spec.mbox_factories = std::move(mboxes);
+  return spec;
+}
+
+/// Ch-n of the paper's Table 1: Monitor_1 -> ... -> Monitor_n.
+inline std::vector<FtcNode::MboxFactory> ch_n(std::size_t n,
+                                              std::uint32_t sharing = 1) {
+  std::vector<FtcNode::MboxFactory> mboxes;
+  for (std::size_t i = 0; i < n; ++i) mboxes.push_back(monitor(sharing));
+  return mboxes;
+}
+
+/// Ch-Rec: Firewall -> Monitor -> SimpleNAT.
+inline std::vector<FtcNode::MboxFactory> ch_rec() {
+  return {firewall(), monitor(1), simple_nat()};
+}
+
+/// Maximum-throughput measurement (paper: max sustained rate).
+inline tgen::RunResult measure_tput(ChainRuntime& chain,
+                                    const tgen::Workload& workload) {
+  return tgen::run_load(chain.pool(), chain.ingress(), chain.egress(),
+                        workload, /*rate_pps=*/0.0, point_seconds(),
+                        warmup_seconds());
+}
+
+/// Latency at a fixed offered load.
+inline tgen::RunResult measure_latency(ChainRuntime& chain,
+                                       const tgen::Workload& workload,
+                                       double rate_pps) {
+  return tgen::run_load(chain.pool(), chain.ingress(), chain.egress(),
+                        workload, rate_pps, point_seconds(), warmup_seconds());
+}
+
+inline const char* mode_name(ChainMode m) { return ftc::to_string(m); }
+
+/// Enables per-stage busy-cycle accounting on every server of the chain.
+inline void enable_accounting(ChainRuntime& chain) {
+  for (std::uint32_t pos = 0; pos < chain.ring_size(); ++pos) {
+    if (auto* n = chain.ftc_node(pos)) n->enable_cycle_accounting(true);
+    if (auto* n = chain.nf_node(pos)) n->enable_cycle_accounting(true);
+    if (auto* n = chain.ftmb_master(pos)) n->enable_cycle_accounting(true);
+    if (auto* n = chain.ftmb_logger(pos)) n->enable_cycle_accounting(true);
+  }
+}
+
+/// Pipeline throughput (Mpps): the rate a real one-server-per-stage
+/// deployment of this chain would sustain, i.e. 1 / (busy time of the
+/// slowest stage). This is the faithful throughput metric on a host that
+/// timeshares all simulated servers on few cores: wall-clock Mpps there
+/// measures the SUM of all stages' work, which no real chain deployment
+/// pays on one machine (each middlebox has its own server in the paper's
+/// testbed).
+inline double pipeline_mpps(ChainRuntime& chain) {
+  double max_cycles = 0;
+  for (std::uint32_t pos = 0; pos < chain.ring_size(); ++pos) {
+    if (auto* n = chain.ftc_node(pos)) {
+      max_cycles = std::max(max_cycles, n->busy_cycles_per_packet());
+    }
+    if (auto* n = chain.nf_node(pos)) {
+      max_cycles = std::max(max_cycles, n->busy_cycles_per_packet());
+    }
+    if (auto* n = chain.ftmb_master(pos)) {
+      max_cycles = std::max(max_cycles, n->busy_cycles_per_packet());
+    }
+    if (auto* n = chain.ftmb_logger(pos)) {
+      max_cycles = std::max(max_cycles, n->busy_cycles_per_packet());
+    }
+  }
+  if (max_cycles <= 0) return 0;
+  const double ns_per_packet = max_cycles / (rt::tsc_hz() * 1e-9);
+  return 1e3 / ns_per_packet;  // 1e9 / ns * 1e-6.
+}
+
+/// Runs a chain at a moderate fixed rate to collect clean per-stage busy
+/// costs (saturation would pollute cycle samples with preemption), then
+/// reports pipeline throughput alongside the timeshared delivered rate.
+struct TputResult {
+  double pipeline_mpps{0};
+  double timeshared_mpps{0};
+};
+
+inline TputResult measure_pipeline_tput(ChainRuntime& chain,
+                                        const tgen::Workload& workload,
+                                        double probe_rate_pps = 100'000.0) {
+  enable_accounting(chain);
+  chain.start();
+  TputResult out;
+  const std::uint64_t t0 = rt::now_ns();
+  std::uint64_t stall0 = 0;
+  for (std::uint32_t pos = 0; pos < chain.ring_size(); ++pos) {
+    if (auto* m = chain.ftmb_master(pos)) stall0 += m->stall_ns_total();
+  }
+  const auto probe = tgen::run_load(chain.pool(), chain.ingress(),
+                                    chain.egress(), workload, probe_rate_pps,
+                                    point_seconds(), warmup_seconds());
+  (void)probe;
+  out.pipeline_mpps = pipeline_mpps(chain);
+  // Snapshot stalls halt the whole pipeline while any master checkpoints
+  // (paper §7.4: per-middlebox snapshots pipeline-stall the chain, and
+  // more snapshots are taken in a longer chain).
+  std::uint64_t stall1 = 0;
+  for (std::uint32_t pos = 0; pos < chain.ring_size(); ++pos) {
+    if (auto* m = chain.ftmb_master(pos)) stall1 += m->stall_ns_total();
+  }
+  const double elapsed = static_cast<double>(rt::now_ns() - t0);
+  const double availability =
+      std::max(0.05, 1.0 - static_cast<double>(stall1 - stall0) / elapsed);
+  out.pipeline_mpps *= availability;
+  out.timeshared_mpps =
+      measure_tput(chain, workload).delivered_mpps;  // Saturated run.
+  chain.stop();
+  return out;
+}
+
+/// Header block every bench prints.
+inline void print_header(const char* experiment, const char* paper_summary) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper (40GbE DPDK cluster): %s\n", paper_summary);
+  std::printf("  this run: simulated multi-server chain on one host; compare\n");
+  std::printf("  shapes/ratios, not absolute Mpps.\n");
+  std::printf("=====================================================================\n");
+}
+
+}  // namespace sfc::bench

@@ -1,0 +1,116 @@
+// Enterprise service function chain (the paper's motivating deployment,
+// §1): data-center traffic passes an intrusion-detection-style Monitor, a
+// Firewall, and a NAT before reaching the Internet.
+//
+// Demonstrates: mixed stateful/stateless middleboxes under FTC, a
+// filtering middlebox (the firewall denies one subnet) whose drops still
+// propagate replication state, per-middlebox statistics, and the chain's
+// fault-tolerance bookkeeping (piggyback logs applied, commit flow).
+//
+//   $ ./example_enterprise_chain
+#include <cstdio>
+#include <set>
+#include <thread>
+
+#include "core/chain.hpp"
+#include "mbox/firewall.hpp"
+#include "mbox/monitor.hpp"
+#include "mbox/nat.hpp"
+#include "tgen/traffic.hpp"
+
+using namespace sfc;
+
+int main() {
+  // Firewall policy: block everything from 10.9.0.0/16 (a quarantined
+  // subnet), allow the rest.
+  auto firewall_factory = [] {
+    std::vector<mbox::FirewallRule> rules;
+    rules.push_back(mbox::FirewallRule{
+        /*src_prefix=*/0x0a090000, /*src_mask=*/0xffff0000,
+        /*dst_prefix=*/0, /*dst_mask=*/0,
+        /*dst_port=*/0, /*protocol=*/0, /*allow=*/false});
+    return std::unique_ptr<mbox::Middlebox>(
+        new mbox::Firewall(std::move(rules), /*default_allow=*/true));
+  };
+
+  ftc::ChainRuntime::Spec spec;
+  spec.mode = ftc::ChainMode::kFtc;
+  spec.cfg.f = 1;
+  spec.cfg.threads_per_node = 2;
+  spec.mbox_factories = {
+      [] { return std::unique_ptr<mbox::Middlebox>(new mbox::Monitor(2)); },
+      firewall_factory,
+      [] { return std::unique_ptr<mbox::Middlebox>(new mbox::MazuNat()); },
+  };
+  ftc::ChainRuntime chain(spec);
+  chain.start();
+
+  // Two traffic classes: normal clients and the quarantined subnet.
+  tgen::Workload normal;
+  normal.num_flows = 64;
+  normal.src_base = 0x0a000001;  // 10.0.0.x
+  tgen::Workload quarantined;
+  quarantined.num_flows = 16;
+  quarantined.src_base = 0x0a090001;  // 10.9.0.x -> firewall-denied.
+
+  tgen::TrafficSink sink(chain.pool(), chain.egress());
+  sink.start();
+  tgen::TrafficSource src_ok(chain.pool(), chain.ingress(), normal, 40'000);
+  tgen::TrafficSource src_bad(chain.pool(), chain.ingress(), quarantined,
+                              10'000);
+  src_ok.start();
+  src_bad.start();
+  std::this_thread::sleep_for(std::chrono::seconds(1));
+  src_ok.stop();
+  src_bad.stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  std::printf("--- chain: Monitor -> Firewall -> MazuNAT (FTC, f=1) ---\n");
+  std::printf("offered:   %llu normal + %llu quarantined packets\n",
+              static_cast<unsigned long long>(src_ok.packets_sent()),
+              static_cast<unsigned long long>(src_bad.packets_sent()));
+  std::printf("delivered: %llu packets (quarantined traffic dropped by the "
+              "firewall)\n",
+              static_cast<unsigned long long>(sink.packets_received()));
+
+  const char* names[] = {"Monitor", "Firewall", "MazuNAT"};
+  for (std::uint32_t pos = 0; pos < 3; ++pos) {
+    auto* node = chain.ftc_node(pos);
+    const auto stats = node->stats();
+    std::printf("%-9s processed=%-8llu filtered=%-7llu state entries=%zu, "
+                "logs applied for predecessors=%llu\n",
+                names[pos],
+                static_cast<unsigned long long>(stats.packets_processed),
+                static_cast<unsigned long long>(stats.drops_filtered),
+                node->has_mbox() ? node->head()->store().total_entries() : 0,
+                static_cast<unsigned long long>(stats.logs_applied));
+  }
+
+  // Fault-tolerance invariant: the Monitor's counters (middlebox 0) are
+  // fully replicated at the Firewall server, even though the firewall
+  // filtered part of the traffic.
+  auto* monitor_node = chain.ftc_node(0);
+  auto* monitor = dynamic_cast<mbox::Monitor*>(monitor_node->middlebox());
+  auto* replica = chain.ftc_node(1)->applier(0);
+  std::uint64_t head_total = 0, replica_total = 0;
+  std::set<state::Key> keys;  // Threads in one sharing group share a key.
+  for (std::uint32_t t = 0; t < 2; ++t) keys.insert(monitor->counter_key(t));
+  for (const auto key : keys) {
+    if (auto v = monitor_node->head()->store().get(key)) {
+      head_total += v->as<std::uint64_t>();
+    }
+    if (auto v = replica->store().get(key)) {
+      replica_total += v->as<std::uint64_t>();
+    }
+  }
+  std::printf("Monitor counted %llu packets; its in-chain replica holds "
+              "%llu (%s)\n",
+              static_cast<unsigned long long>(head_total),
+              static_cast<unsigned long long>(replica_total),
+              head_total == replica_total ? "replicated exactly"
+                                          : "still converging");
+
+  sink.stop();
+  chain.stop();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: a fault-tolerant NAT in ~40 lines.
+//
+// Builds a 2-middlebox FTC chain (Monitor -> MazuNAT, f=1), pushes a few
+// thousand packets through it, and shows that every middlebox's state is
+// replicated on its successor server — no dedicated replica machines.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+#include <thread>
+
+#include "core/chain.hpp"
+#include "mbox/monitor.hpp"
+#include "mbox/nat.hpp"
+#include "tgen/traffic.hpp"
+
+using namespace sfc;
+
+int main() {
+  // 1. Describe the chain: mode, fault tolerance level, middleboxes.
+  ftc::ChainRuntime::Spec spec;
+  spec.mode = ftc::ChainMode::kFtc;
+  spec.cfg.f = 1;  // Tolerate one server failure.
+  spec.mbox_factories = {
+      [] { return std::unique_ptr<mbox::Middlebox>(new mbox::Monitor(1)); },
+      [] { return std::unique_ptr<mbox::Middlebox>(new mbox::MazuNat()); },
+  };
+
+  // 2. Deploy and start it.
+  ftc::ChainRuntime chain(spec);
+  chain.start();
+
+  // 3. Send traffic: 16 flows from the 10.0.0.0/8 "inside".
+  tgen::Workload workload;
+  workload.num_flows = 16;
+  tgen::TrafficSource source(chain.pool(), chain.ingress(), workload, 50'000);
+  tgen::TrafficSink sink(chain.pool(), chain.egress());
+  sink.start();
+  source.start();
+  while (sink.packets_received() < 5'000) std::this_thread::yield();
+  source.stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // 4. Inspect: the NAT's flow table lives on its own server AND on its
+  //    successor in the chain (ring position 0 here).
+  auto* nat_node = chain.ftc_node(1);
+  auto* replica = chain.ftc_node(0)->applier(1);
+  std::printf("NAT flow table:   %zu entries at the NAT server\n",
+              nat_node->head()->store().total_entries());
+  std::printf("                  %zu entries at its in-chain replica\n",
+              replica->store().total_entries());
+  std::printf("delivered:        %llu packets end-to-end\n",
+              static_cast<unsigned long long>(sink.packets_received()));
+  std::printf("mean latency:     %.1f us\n", sink.latency().mean() / 1000.0);
+
+  sink.stop();
+  chain.stop();
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "core/buffer.hpp"
+
+#include <algorithm>
+
+namespace sfc::ftc {
+
+bool EgressBuffer::is_covered(const Held& held) const {
+  for (const auto& pending : held.pending) {
+    const auto it = known_commits_.find(pending.mbox);
+    if (it == known_commits_.end() || !it->second.covers(pending.dep)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EgressBuffer::release_locked(Held& held) {
+  // The egress link is drained by the measurement sink; block rather than
+  // lose a released packet.
+  egress_.send_blocking(held.packet);
+  held.packet = nullptr;
+  ++stats_.released;
+}
+
+void EgressBuffer::absorb(std::span<const CommitVector> commits) {
+  std::lock_guard lock(mutex_);
+  for (const auto& c : commits) {
+    auto [it, inserted] = known_commits_.try_emplace(c.mbox, c.max);
+    if (!inserted) it->second.merge(c.max);
+  }
+}
+
+void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
+  std::unique_lock lock(mutex_);
+  ++stats_.submitted;
+
+  // Absorb the commit knowledge this packet carries.
+  for (const auto& c : msg.commits) {
+    auto [it, inserted] = known_commits_.try_emplace(c.mbox, c.max);
+    if (!inserted) it->second.merge(c.max);
+  }
+
+  if (p->anno().is_control) {
+    ++stats_.control_consumed;
+    pool_.free_raw(p);
+  } else {
+    Held held{p, {}};
+    held.pending.reserve(msg.logs.size());
+    for (const auto& log : msg.logs) {
+      held.pending.push_back(PendingLog{log.mbox, log.dep});
+    }
+    if (held.pending.empty() || is_covered(held)) {
+      // Nothing outstanding (e.g. read-only path all along the chain, or
+      // commits already caught up): release without holding.
+      release_locked(held);
+      ++stats_.released_immediately;
+    } else {
+      held_.push_back(std::move(held));
+      stats_.high_water = std::max<std::uint64_t>(stats_.high_water,
+                                                  held_.size());
+    }
+  }
+
+  // Release the covered prefix. Commit vectors advance cumulatively per
+  // partition and packets arrive roughly in commit order, so prefix
+  // scanning is O(1) amortized where a full scan per submit would be
+  // quadratic at saturation. A non-prefix-eligible hold is released at the
+  // latest by the next commit for its partitions (or the periodic full
+  // scan on control packets below).
+  while (!held_.empty() && is_covered(held_.front())) {
+    release_locked(held_.front());
+    held_.pop_front();
+  }
+  if (p->anno().is_control && ++full_scans_ % 4 == 0) {
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (is_covered(*it)) {
+        release_locked(*it);
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  lock.unlock();
+
+  // Commit vectors end their journey here (tail -> ... -> buffer, paper
+  // §5.1); only logs still traveling toward their wrap-around tails feed
+  // back to the forwarder. Dropping commits also terminates the idle
+  // propagation loop: once every log is stripped at its tail, feedback
+  // messages become empty.
+  msg.commits.clear();
+  if (!msg.empty()) feedback_.push(std::move(msg));
+}
+
+void EgressBuffer::release_eligible() {
+  std::lock_guard lock(mutex_);
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (is_covered(*it)) {
+      release_locked(*it);
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sfc::ftc

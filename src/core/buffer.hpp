@@ -1,0 +1,85 @@
+// Egress buffer (paper §5).
+//
+// Holds packets leaving the chain until the state updates they carried for
+// wrap-around middleboxes (those whose tail sits at the chain start) are
+// known to be f+1-replicated, i.e. covered by commit vectors observed on
+// later packets. Strips the piggyback message and forwards it to the
+// forwarder via the feedback channel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/forwarder.hpp"
+#include "core/piggyback.hpp"
+#include "net/link.hpp"
+
+namespace sfc::ftc {
+
+struct BufferStats {
+  std::uint64_t submitted{0};
+  std::uint64_t released{0};
+  std::uint64_t released_immediately{0};
+  std::uint64_t control_consumed{0};
+  std::uint64_t high_water{0};
+};
+
+class EgressBuffer : rt::NonCopyable {
+ public:
+  /// @param egress  Link carrying released packets out of the chain.
+  EgressBuffer(pkt::PacketPool& pool, net::Link& egress,
+               FeedbackChannel& feedback)
+      : pool_(pool), egress_(egress), feedback_(feedback) {}
+
+  /// Accepts a packet at the end of the chain with its final piggyback
+  /// message. Consumes both. Control (propagating) packets deliver their
+  /// commits and are freed.
+  void submit(pkt::Packet* p, PiggybackMessage&& msg);
+
+  /// Absorbs commit vectors into the buffer's release knowledge (also
+  /// called by the egress node before message stripping).
+  void absorb(std::span<const CommitVector> commits);
+
+  /// Re-checks held packets against current commit knowledge (called on
+  /// submit; exposed for drain paths).
+  void release_eligible();
+
+  BufferStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
+
+  std::size_t held_count() const {
+    std::lock_guard lock(mutex_);
+    return held_.size();
+  }
+
+ private:
+  struct PendingLog {
+    MboxId mbox;
+    DepVector dep;
+  };
+
+  struct Held {
+    pkt::Packet* packet;
+    std::vector<PendingLog> pending;
+  };
+
+  bool is_covered(const Held& held) const;
+  void release_locked(Held& held);
+
+  pkt::PacketPool& pool_;
+  net::Link& egress_;
+  FeedbackChannel& feedback_;
+
+  mutable std::mutex mutex_;
+  std::deque<Held> held_;
+  std::unordered_map<MboxId, MaxVector> known_commits_;
+  BufferStats stats_;
+  std::uint64_t full_scans_{0};
+};
+
+}  // namespace sfc::ftc

@@ -1,0 +1,147 @@
+// Chain runtime: builds and runs a service function chain in one of the
+// four evaluation modes (NF / FTC / FTMB / FTMB+Snapshot), owning the
+// simulated servers, the links between them, the packet pool, and the
+// control plane. The traffic generator injects into ingress() and the
+// measurement sink drains egress().
+//
+// Topologies (paper §7.1):
+//   NF:    gen -> M1 -> M2 -> ... -> Mn -> sink            (n servers)
+//   FTC:   gen -> R0(fwd) -> R1 -> ... -> R(last, buffer) -> sink
+//          with the buffer->forwarder feedback channel     (n servers,
+//          extended with pure replicas when n < f+1)
+//   FTMB:  gen -> [IL/OL]1 <-> M1 -> [IL/OL]2 <-> M2 ... -> sink
+//          (2n servers: one logger server per middlebox)
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/config.hpp"
+#include "core/forwarder.hpp"
+#include "core/nf_node.hpp"
+#include "core/node.hpp"
+#include "ftmb/ftmb.hpp"
+#include "net/control.hpp"
+
+namespace sfc::ftc {
+
+class ChainRuntime : rt::NonCopyable {
+ public:
+  struct Spec {
+    ChainMode mode{ChainMode::kFtc};
+    ChainConfig cfg{};
+    /// One factory per middlebox, in chain order.
+    std::vector<FtcNode::MboxFactory> mbox_factories;
+  };
+
+  explicit ChainRuntime(Spec spec);
+  ~ChainRuntime();
+
+  void start();
+  void stop();
+
+  net::Link& ingress() noexcept { return *links_.front(); }
+  net::Link& egress() noexcept { return *egress_link_; }
+  /// Pool for generator traffic. Protocol-internal packets (propagating
+  /// packets, FTMB PALs) come from a separate reserve so a saturating
+  /// generator cannot starve the replication machinery into deadlock.
+  pkt::PacketPool& pool() noexcept { return *pool_; }
+  pkt::PacketPool& internal_pool() noexcept { return *internal_pool_; }
+  net::ControlPlane& control() noexcept { return ctrl_; }
+  const Spec& spec() const noexcept { return spec_; }
+
+  std::uint32_t num_mboxes() const noexcept {
+    return static_cast<std::uint32_t>(spec_.mbox_factories.size());
+  }
+  std::uint32_t ring_size() const noexcept { return ring_size_; }
+
+  /// Node currently serving a ring position (FTC mode).
+  FtcNode* ftc_node(std::uint32_t position) noexcept {
+    return position < ftc_at_.size() ? ftc_at_[position] : nullptr;
+  }
+  NfNode* nf_node(std::uint32_t position) noexcept {
+    return position < nf_nodes_.size() ? nf_nodes_[position].get() : nullptr;
+  }
+  ftmb::FtmbMaster* ftmb_master(std::uint32_t position) noexcept {
+    return position < ftmb_masters_.size() ? ftmb_masters_[position].get()
+                                           : nullptr;
+  }
+  ftmb::FtmbLogger* ftmb_logger(std::uint32_t position) noexcept {
+    return position < ftmb_loggers_.size() ? ftmb_loggers_[position].get()
+                                           : nullptr;
+  }
+  EgressBuffer* buffer() noexcept { return buffer_.get(); }
+  Forwarder* forwarder() noexcept { return forwarder_.get(); }
+
+  /// Sum of per-middlebox packet counters at the last hop (throughput of
+  /// the chain as the paper measures it: packets leaving the chain).
+  std::uint64_t egress_packets() const noexcept;
+
+  /// True when no replication work is pending anywhere: all data links
+  /// drained, no buffered holds, no feedback awaiting dissemination, no
+  /// parked packets. Used by tests to know state has fully converged.
+  bool quiescent();
+
+  // --- Failure injection & recovery plumbing (FTC mode). ---
+  /// Crash-stops the node at @p position (fail-stop, paper §2).
+  void fail_position(std::uint32_t position);
+
+  /// Creates a fresh replica for @p position (control endpoint running,
+  /// data path detached) — the orchestrator's "spawn" step.
+  FtcNode* spawn_replacement(std::uint32_t position);
+
+  /// The per-replication-group fetch sources for a new replica at
+  /// @p position (paper §5.2): its own store from the ring successor, each
+  /// applier store from the ring predecessor.
+  std::vector<std::pair<MboxId, net::NodeId>> recovery_sources(
+      std::uint32_t position) const;
+
+  /// Attaches the recovered replica to the chain links and starts its data
+  /// path — the orchestrator's "steer traffic" step.
+  void wire_replacement(std::uint32_t position, FtcNode* node);
+
+  /// Places a ring position in a named cloud region: the current node and
+  /// any future replacement at this position inherit it (paper §7.5: the
+  /// new replica is placed in the failed middlebox's region).
+  void set_position_region(std::uint32_t position, std::uint32_t region);
+
+ private:
+  void build_ftc();
+  void build_nf();
+  void build_ftmb(bool snapshots);
+  FtcNode::MboxFactory factory_for(std::uint32_t position) const;
+
+  Spec spec_;
+  std::uint32_t ring_size_{0};
+  std::unique_ptr<pkt::PacketPool> pool_;
+  std::unique_ptr<pkt::PacketPool> internal_pool_;
+  net::ControlPlane ctrl_;
+  net::NodeId next_node_id_{1};
+
+  // links_[i] feeds ring position i; links_[i+1] carries its output.
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::unique_ptr<net::Link> egress_link_;
+
+  // FTC mode.
+  std::vector<std::unique_ptr<FtcNode>> ftc_nodes_;  // All ever created.
+  std::vector<FtcNode*> ftc_at_;                     // Current per position.
+  std::unique_ptr<FeedbackChannel> feedback_;
+  std::unique_ptr<Forwarder> forwarder_;
+  std::unique_ptr<EgressBuffer> buffer_;
+
+  // NF mode.
+  std::vector<std::unique_ptr<NfNode>> nf_nodes_;
+
+  std::map<std::uint32_t, std::uint32_t> position_region_;
+
+  // FTMB mode (per middlebox: logger + master + two internal links).
+  std::vector<std::unique_ptr<ftmb::FtmbLogger>> ftmb_loggers_;
+  std::vector<std::unique_ptr<ftmb::FtmbMaster>> ftmb_masters_;
+  std::vector<std::unique_ptr<net::Link>> ftmb_links_;
+
+  bool started_{false};
+};
+
+}  // namespace sfc::ftc

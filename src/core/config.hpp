@@ -1,0 +1,70 @@
+// Chain-level configuration shared by all runtime modes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/link.hpp"
+
+namespace sfc::ftc {
+
+/// Which fault-tolerance machinery a chain runs with (paper §7.1).
+enum class ChainMode : std::uint8_t {
+  kNf,            ///< No fault tolerance (baseline "NF").
+  kFtc,           ///< This paper's system.
+  kFtmb,          ///< FTMB upper bound: PAL logging, no snapshots.
+  kFtmbSnapshot,  ///< FTMB with simulated periodic snapshot stalls (Fig. 9).
+};
+
+constexpr const char* to_string(ChainMode m) noexcept {
+  switch (m) {
+    case ChainMode::kNf: return "NF";
+    case ChainMode::kFtc: return "FTC";
+    case ChainMode::kFtmb: return "FTMB";
+    case ChainMode::kFtmbSnapshot: return "FTMB+Snapshot";
+  }
+  return "?";
+}
+
+struct ChainConfig {
+  /// Failures tolerated: each middlebox's state is replicated on f+1
+  /// servers along the chain.
+  std::uint32_t f{1};
+
+  /// State partitions per store (the paper picks this above the maximum
+  /// core count to reduce lock contention). Power of two, <= 64.
+  std::size_t num_partitions{16};
+
+  /// Packet-processing threads per server.
+  std::size_t threads_per_node{1};
+
+  /// Shared packet pool size.
+  std::size_t pool_packets{8192};
+
+  /// Template for the inter-server data-plane links.
+  net::LinkConfig link{};
+
+  /// Forwarder emits a propagating packet when the chain has been idle
+  /// this long and state dissemination is pending (paper §5.1).
+  std::uint64_t propagate_interval_ns{200'000};
+
+  /// A replica holding an out-of-order piggyback log this long requests a
+  /// retransmission from its predecessor (paper §4.1).
+  std::uint64_t retransmit_timeout_ns{3'000'000};
+
+  /// Minimum spacing between retransmit requests for the same store.
+  std::uint64_t nack_min_gap_ns{1'000'000};
+
+  /// Maximum feedback messages the forwarder merges onto one packet.
+  std::size_t forwarder_merge_limit{8};
+
+  /// Retained piggyback logs per store for retransmission; pruned by
+  /// commit vectors, bounded by this capacity.
+  std::size_t history_capacity{65536};
+
+  /// FTMB snapshot simulation (paper §7.4: 6 ms stall every 50 ms).
+  std::uint64_t snapshot_interval_ns{50'000'000};
+  std::uint64_t snapshot_stall_ns{6'000'000};
+};
+
+}  // namespace sfc::ftc

@@ -1,0 +1,89 @@
+// Data dependency vectors (paper §4.3).
+//
+// The head tracks one sequence number per state partition; a transaction's
+// piggyback log carries the post-increment sequence numbers of exactly the
+// partitions it touched (read or written) and "don't-care" elsewhere. A
+// replica keeps a MAX vector per replicated store: the latest log applied
+// in order. A log is applicable when, for every touched partition, it is
+// the immediate successor of MAX; logs over disjoint partitions can
+// therefore be applied concurrently and in either order (the paper's
+// partial order).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "state/state_store.hpp"
+
+namespace sfc::ftc {
+
+/// A dependency vector restricted to the touched partitions ("x" = bit
+/// unset in mask = don't-care).
+struct DepVector {
+  std::uint64_t mask{0};
+  std::array<std::uint64_t, state::kMaxPartitions> seq{};
+
+  bool touches(std::size_t p) const noexcept { return mask & (1ULL << p); }
+
+  friend bool operator==(const DepVector& a, const DepVector& b) noexcept {
+    if (a.mask != b.mask) return false;
+    for (std::size_t p = 0; p < state::kMaxPartitions; ++p) {
+      if (a.touches(p) && a.seq[p] != b.seq[p]) return false;
+    }
+    return true;
+  }
+};
+
+/// A full (no don't-care) vector: replica MAX or a tail's commit vector.
+struct MaxVector {
+  std::array<std::uint64_t, state::kMaxPartitions> seq{};
+
+  /// Adopts the log's sequence numbers for its touched partitions.
+  /// Iterates only the set mask bits: these run per log per replica.
+  void advance(const DepVector& log) noexcept {
+    for (std::uint64_t m = log.mask; m != 0; m &= m - 1) {
+      const auto p = static_cast<std::size_t>(std::countr_zero(m));
+      seq[p] = log.seq[p];
+    }
+  }
+
+  /// Componentwise maximum (commit-vector merge at the buffer).
+  void merge(const MaxVector& other,
+             std::size_t partitions = state::kMaxPartitions) noexcept {
+    for (std::size_t p = 0; p < partitions; ++p) {
+      if (other.seq[p] > seq[p]) seq[p] = other.seq[p];
+    }
+  }
+
+  /// True when every touched sequence number of @p log is <= ours, i.e.
+  /// the log's transaction is already covered by this vector (buffer
+  /// release test; also the duplicate test on the apply path).
+  bool covers(const DepVector& log) const noexcept {
+    for (std::uint64_t m = log.mask; m != 0; m &= m - 1) {
+      const auto p = static_cast<std::size_t>(std::countr_zero(m));
+      if (log.seq[p] > seq[p]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const MaxVector&, const MaxVector&) = default;
+};
+
+/// Classification of a piggyback log against a replica's MAX vector.
+enum class LogFit : std::uint8_t {
+  kApplicable,  ///< Every touched partition is the immediate successor.
+  kDuplicate,   ///< Already applied (retransmission or merged duplicate).
+  kFuture,      ///< A predecessor log is missing; hold.
+};
+
+inline LogFit classify(const MaxVector& max, const DepVector& log) noexcept {
+  if (max.covers(log)) return LogFit::kDuplicate;
+  for (std::uint64_t m = log.mask; m != 0; m &= m - 1) {
+    const auto p = static_cast<std::size_t>(std::countr_zero(m));
+    if (log.seq[p] != max.seq[p] + 1) return LogFit::kFuture;
+  }
+  return LogFit::kApplicable;
+}
+
+}  // namespace sfc::ftc

@@ -1,0 +1,91 @@
+// Forwarder and the buffer->forwarder feedback channel (paper §5).
+//
+// The egress buffer strips each packet's piggyback message and hands it to
+// the forwarder at the chain ingress; the forwarder attaches pending
+// messages to incoming packets (merging several if the ingress is slower
+// than the egress) so the state of chain-end middleboxes replicates at the
+// chain-start servers. When the chain is idle, the forwarder emits
+// propagating packets instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/piggyback.hpp"
+#include "packet/packet_io.hpp"
+#include "packet/packet_pool.hpp"
+#include "runtime/clock.hpp"
+#include "runtime/mpmc_queue.hpp"
+
+namespace sfc::ftc {
+
+/// The paper's dedicated state-dissemination link from the buffer back to
+/// the forwarder (their testbed used a separate 10 GbE link).
+class FeedbackChannel : rt::NonCopyable {
+ public:
+  explicit FeedbackChannel(std::size_t capacity = 1024) : queue_(capacity) {}
+
+  void push(PiggybackMessage&& msg) {
+    // The channel must not lose state: if the consumer lags, spin-yield.
+    while (!queue_.try_push(std::move(msg))) std::this_thread::yield();
+  }
+
+  std::optional<PiggybackMessage> pop() { return queue_.try_pop(); }
+
+  std::size_t pending_approx() const noexcept { return queue_.size_approx(); }
+
+ private:
+  rt::MpmcQueue<PiggybackMessage> queue_;
+};
+
+class Forwarder : rt::NonCopyable {
+ public:
+  Forwarder(FeedbackChannel& feedback, const ChainConfig& cfg)
+      : feedback_(feedback), cfg_(cfg) {
+    last_activity_ns_.store(rt::now_ns());
+  }
+
+  /// Collects pending feedback (up to the merge limit) into one message to
+  /// ride on an incoming packet.
+  PiggybackMessage collect() {
+    PiggybackMessage merged;
+    for (std::size_t i = 0; i < cfg_.forwarder_merge_limit; ++i) {
+      auto msg = feedback_.pop();
+      if (!msg) break;
+      merged.merge(std::move(*msg));
+    }
+    note_activity();
+    return merged;
+  }
+
+  /// True when the chain has been idle long enough that pending state must
+  /// be pushed with a propagating packet.
+  bool propagation_due() const noexcept {
+    return feedback_.pending_approx() > 0 &&
+           rt::now_ns() - last_activity_ns_.load(std::memory_order_relaxed) >
+               cfg_.propagate_interval_ns;
+  }
+
+  void note_activity() noexcept {
+    last_activity_ns_.store(rt::now_ns(), std::memory_order_relaxed);
+  }
+
+  /// Builds a propagating packet (no user payload; skips middleboxes).
+  static pkt::Packet* make_propagating_packet(pkt::PacketPool& pool) {
+    pkt::Packet* p = pool.alloc_raw();
+    if (p == nullptr) return nullptr;
+    pkt::FlowKey ctrl{0x7f000001, 0x7f000002, 9999, 9999,
+                      pkt::Ipv4Header::kProtoUdp};
+    pkt::PacketBuilder(*p).udp(ctrl, 64);
+    p->anno().is_control = true;
+    return p;
+  }
+
+ private:
+  FeedbackChannel& feedback_;
+  const ChainConfig& cfg_;
+  std::atomic<std::uint64_t> last_activity_ns_{0};
+};
+
+}  // namespace sfc::ftc

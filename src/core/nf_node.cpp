@@ -1,0 +1,61 @@
+#include "core/nf_node.hpp"
+
+#include "packet/packet_io.hpp"
+#include "runtime/clock.hpp"
+
+namespace sfc::ftc {
+
+void NfNode::start() {
+  for (std::size_t t = 0; t < cfg_.threads_per_node; ++t) {
+    auto worker = std::make_unique<rt::Worker>();
+    worker->start(
+        "nf-node-" + std::to_string(position_) + "-t" + std::to_string(t),
+        [this, t] { return worker_body(static_cast<std::uint32_t>(t)); });
+    workers_.push_back(std::move(worker));
+  }
+}
+
+bool NfNode::worker_body(std::uint32_t thread_id) {
+  net::Link* in = in_link_.load(std::memory_order_acquire);
+  if (in == nullptr) return false;
+  pkt::Packet* p = in->poll();
+  if (p == nullptr) return false;
+  const std::uint64_t b0 = account_cycles_ ? rt::rdtsc() : 0;
+
+  mbox::Verdict verdict = mbox::Verdict::kForward;
+  if (mbox_ != nullptr && !p->anno().is_control) {
+    auto parsed = pkt::parse_packet(*p);
+    if (!parsed) {
+      verdict = mbox::Verdict::kDrop;
+    } else {
+      mbox::ProcessContext pctx;
+      pctx.thread_id = thread_id;
+      pctx.num_threads = static_cast<std::uint32_t>(cfg_.threads_per_node);
+      if (mbox_->stateless()) {
+        verdict = mbox_->process_stateless(*p, *parsed, pctx);
+      } else {
+        state::run_transaction(txn_ctx_, [&](state::Txn& txn) {
+          pctx.deferred_rewrite.reset();
+          verdict = mbox_->process(txn, *p, *parsed, pctx);
+        });
+      }
+      if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
+    }
+  }
+
+  if (verdict == mbox::Verdict::kDrop) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    pool_.free_raw(p);
+    return true;
+  }
+  meter_.add(1, p->size());
+  net::Link* out = out_link_.load(std::memory_order_acquire);
+  if (account_cycles_) {
+    // Account productive work only; downstream backpressure is excluded.
+    record_busy(rt::rdtsc() - b0);
+  }
+  if (out == nullptr || !out->send_blocking(p)) pool_.free_raw(p);
+  return true;
+}
+
+}  // namespace sfc::ftc

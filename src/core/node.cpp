@@ -1,0 +1,645 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "runtime/clock.hpp"
+#include "runtime/logging.hpp"
+
+namespace sfc::ftc {
+
+namespace {
+
+// Cycles the current thread spent blocked on full downstream queues while
+// processing the current packet; subtracted from busy accounting.
+thread_local std::uint64_t t_blocked_cycles = 0;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+bool take_u32(std::span<const std::uint8_t>& in, std::uint32_t& v) {
+  if (in.size() < 4) return false;
+  std::memcpy(&v, in.data(), 4);
+  in = in.subspan(4);
+  return true;
+}
+
+void put_max(std::vector<std::uint8_t>& out, const MaxVector& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.seq.data());
+  out.insert(out.end(), p, p + sizeof(v.seq));
+}
+
+bool take_max(std::span<const std::uint8_t>& in, MaxVector& v) {
+  if (in.size() < sizeof(v.seq)) return false;
+  std::memcpy(v.seq.data(), in.data(), sizeof(v.seq));
+  in = in.subspan(sizeof(v.seq));
+  return true;
+}
+
+}  // namespace
+
+FtcNode::FtcNode(Params params)
+    : id_(params.id),
+      position_(params.position),
+      ring_size_(params.ring_size),
+      num_mboxes_(params.num_mboxes),
+      cfg_(*params.cfg),
+      pool_(*params.pool),
+      ctrl_(*params.ctrl) {
+  ctrl_.register_node(id_);
+  if (position_ < num_mboxes_ && params.mbox_factory) {
+    mbox_ = params.mbox_factory();
+    head_ = std::make_unique<HeadStore>(position_, cfg_);
+  }
+  // Appliers for the f preceding ring positions that carry middleboxes.
+  for (std::uint32_t k = 1; k <= cfg_.f && k < ring_size_; ++k) {
+    const std::uint32_t m = (position_ + ring_size_ - k) % ring_size_;
+    if (m < num_mboxes_) {
+      appliers_.emplace(m, std::make_unique<InOrderApplier>(m, cfg_));
+    }
+  }
+}
+
+FtcNode::~FtcNode() { stop(); }
+
+void FtcNode::attach_data_path(net::Link* in, net::Link* out) {
+  in_link_.store(in);
+  out_link_.store(out);
+}
+
+InOrderApplier* FtcNode::applier(MboxId mbox) noexcept {
+  const auto it = appliers_.find(mbox);
+  return it != appliers_.end() ? it->second.get() : nullptr;
+}
+
+std::uint32_t FtcNode::tail_of() const noexcept {
+  if (cfg_.f == 0 || cfg_.f >= ring_size_) return ring_size_;
+  const std::uint32_t m = (position_ + ring_size_ - cfg_.f) % ring_size_;
+  return m < num_mboxes_ && m != position_ ? m : ring_size_;
+}
+
+bool FtcNode::replicates(MboxId mbox) const noexcept {
+  return appliers_.count(mbox) != 0;
+}
+
+void FtcNode::start() {
+  start_control();
+  for (std::size_t t = 0; t < cfg_.threads_per_node; ++t) {
+    auto worker = std::make_unique<rt::Worker>();
+    worker->start("ftc-node-" + std::to_string(position_) + "-t" +
+                      std::to_string(t),
+                  [this, t] { return worker_body(static_cast<std::uint32_t>(t)); });
+    workers_.push_back(std::move(worker));
+  }
+}
+
+void FtcNode::start_control() {
+  if (control_worker_) return;
+  control_worker_ = std::make_unique<rt::Worker>();
+  control_worker_->start("ftc-ctrl-" + std::to_string(position_), [this] {
+    if (failed_.load(std::memory_order_acquire)) return false;
+    handle_control();
+    check_parked_timeouts();
+    // Control work is low-rate (heartbeats in ms, NACK timers in ms):
+    // sleep rather than spin so data-plane threads keep the CPU.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return true;  // The sleep above is the backoff.
+  });
+}
+
+void FtcNode::stop() {
+  workers_.clear();
+  control_worker_.reset();
+}
+
+void FtcNode::fail() {
+  failed_.store(true, std::memory_order_release);
+  stop();
+  // Crash-stop: parked packets are lost with the node.
+  std::lock_guard lock(park_mutex_);
+  for (auto& w : parked_) pool_.free_raw(w.packet);
+  parked_.clear();
+}
+
+bool FtcNode::worker_body(std::uint32_t thread_id) {
+  if (failed_.load(std::memory_order_acquire)) return false;
+  if (quiesced_.load(std::memory_order_acquire)) return false;
+
+  active_workers_.fetch_add(1, std::memory_order_acq_rel);
+  bool did_work = false;
+
+  // Ingress duties: emit a propagating packet when the chain is idle but
+  // state dissemination is pending (paper §5.1).
+  if (thread_id == 0 && forwarder_ != nullptr && forwarder_->propagation_due()) {
+    // The propagating packet runs through this node's full pipeline (its
+    // appliers are group members of the wrap-around middleboxes too).
+    if (pkt::Packet* prop = Forwarder::make_propagating_packet(pool_)) {
+      Work work;
+      work.packet = prop;
+      work.thread_id = thread_id;
+      work.msg = forwarder_->collect();
+      process_work(std::move(work));
+      did_work = true;
+    }
+  }
+
+  net::Link* in = in_link_.load(std::memory_order_acquire);
+  if (in != nullptr) {
+    if (pkt::Packet* p = in->poll()) {
+      Work work;
+      work.packet = p;
+      work.thread_id = thread_id;
+      const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
+      if (forwarder_ != nullptr) {
+        // Chain ingress: outside packets carry no message; attach pending
+        // feedback from the buffer.
+        work.msg = forwarder_->collect();
+      } else if (auto msg = extract_message(*p)) {
+        work.msg = std::move(*msg);
+      }
+      if (account_cycles_) {
+        cyc_piggyback_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
+        t_blocked_cycles = 0;
+        process_work(std::move(work));
+        record_busy(rt::rdtsc() - t0 - t_blocked_cycles);
+      } else {
+        process_work(std::move(work));
+      }
+      did_work = true;
+    }
+  }
+
+  active_workers_.fetch_sub(1, std::memory_order_acq_rel);
+  return did_work;
+}
+
+void FtcNode::process_work(Work&& work) {
+  if (apply_logs(work)) {
+    finish_work(std::move(work));
+  } else {
+    park(std::move(work));
+  }
+  // Either path may have unblocked (or re-checked) parked continuations:
+  // after a successful apply, a held log may now fit; after a park, this
+  // drain closes the race where the missing log landed between our offer
+  // and the park insertion.
+  drain_parked();
+}
+
+bool FtcNode::apply_logs(Work& work) {
+  const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
+  bool complete = true;
+  for (; work.next_log < work.msg.logs.size(); ++work.next_log) {
+    const PiggybackLog& log = work.msg.logs[work.next_log];
+    InOrderApplier* applier = this->applier(log.mbox);
+    if (applier == nullptr) continue;  // Relay-only for this store.
+
+    auto offer = applier->offer(log);
+    if (offer == InOrderApplier::Offer::kHeld && cfg_.threads_per_node > 1) {
+      // With multiple threads the missing predecessor log is usually in
+      // flight on a sibling thread right now; a couple of yields beat the
+      // full park/drain round trip.
+      for (int spin = 0; spin < 4 && offer == InOrderApplier::Offer::kHeld;
+           ++spin) {
+        std::this_thread::yield();
+        offer = applier->offer(log);
+      }
+    }
+    if (offer == InOrderApplier::Offer::kHeld) {
+      // A predecessor log is missing (reordered or lost upstream); the
+      // caller parks the continuation.
+      complete = false;
+      break;
+    }
+    if (offer == InOrderApplier::Offer::kApplied) {
+      stats_.logs_applied.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stats_.logs_duplicate.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (account_cycles_) {
+    cyc_piggyback_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
+  }
+  return complete;
+}
+
+void FtcNode::park(Work&& work) {
+  work.parked_at_ns = rt::now_ns();
+  {
+    std::lock_guard lock(park_mutex_);
+    parked_.push_back(std::move(work));
+  }
+  stats_.packets_parked.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FtcNode::finish_work(Work&& work) {
+  pkt::Packet* p = work.packet;
+  PiggybackMessage msg = std::move(work.msg);
+
+  // --- Phase B: tail duty, pruning, commit stripping (paper §5.1). ---
+  const std::uint64_t tb0 = account_cycles_ ? rt::rdtsc() : 0;
+  const std::uint32_t tail_mbox = tail_of();
+  if (tail_mbox != ring_size_) {
+    if (InOrderApplier* a = applier(tail_mbox)) {
+      if (!msg.logs.empty()) msg.strip_logs_of(tail_mbox);
+      // Attach the commit vector only when it advanced: re-announcing an
+      // unchanged MAX carries no information and costs 100+ bytes per
+      // packet on read-heavy workloads.
+      const std::uint64_t applied = a->applied_count();
+      if (applied != last_commit_attach_.load(std::memory_order_relaxed)) {
+        last_commit_attach_.store(applied, std::memory_order_relaxed);
+        msg.set_commit(tail_mbox, a->max());
+      }
+    }
+  }
+  // The buffer is the last consumer of commit vectors before stripping.
+  if (buffer_ != nullptr) buffer_->absorb({msg.commits.data(), msg.commits.size()});
+  // Prune histories with every commit vector on board.
+  for (const auto& c : msg.commits) {
+    if (head_ != nullptr && c.mbox == position_) head_->prune(c.max);
+    if (InOrderApplier* a = applier(c.mbox)) a->prune(c.max);
+  }
+  if (account_cycles_) {
+    cyc_piggyback_.fetch_add(rt::rdtsc() - tb0, std::memory_order_relaxed);
+  }
+
+  // --- Phase C: the packet transaction (paper §4.2). ---
+  mbox::Verdict verdict = mbox::Verdict::kForward;
+  if (mbox_ != nullptr && !p->anno().is_control) {
+    auto parsed = pkt::parse_packet(*p);
+    if (!parsed) {
+              stats_.drops_unparseable.fetch_add(1, std::memory_order_relaxed);
+      verdict = mbox::Verdict::kDrop;
+    } else {
+      const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
+      mbox::ProcessContext pctx;
+      pctx.thread_id = work.thread_id;
+      pctx.num_threads = static_cast<std::uint32_t>(cfg_.threads_per_node);
+      if (mbox_->stateless()) {
+        verdict = mbox_->process_stateless(*p, *parsed, pctx);
+      } else {
+        auto record = state::run_transaction(head_->txn_ctx(), [&](state::Txn& txn) {
+          pctx.deferred_rewrite.reset();
+          verdict = mbox_->process(txn, *p, *parsed, pctx);
+        });
+        if (!record.read_only()) {
+          msg.logs.push_back(head_->make_log(std::move(record)));
+        }
+      }
+      if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
+      if (account_cycles_) {
+        cyc_process_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
+        cyc_packets_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  if (p->anno().is_control)     stats_.control_packets.fetch_add(1, std::memory_order_relaxed); else {
+    meter_.add(1, p->size());
+    stats_.packets_processed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Phase D: emit. ---
+  if (verdict == mbox::Verdict::kDrop) {
+    // A filtering middlebox must not swallow in-flight state: its head
+    // emits a propagating packet carrying the message (paper §5.1).
+          stats_.drops_filtered.fetch_add(1, std::memory_order_relaxed);
+    pool_.free_raw(p);
+    if (!msg.empty()) emit_propagating(std::move(msg));
+    return;
+  }
+  const std::uint64_t tf0 = account_cycles_ ? rt::rdtsc() : 0;
+  emit(p, std::move(msg));
+  if (account_cycles_) {
+    cyc_forward_.fetch_add(rt::rdtsc() - tf0, std::memory_order_relaxed);
+  }
+}
+
+void FtcNode::emit(pkt::Packet* p, PiggybackMessage&& msg) {
+  if (buffer_ != nullptr) {
+    buffer_->submit(p, std::move(msg));
+    return;
+  }
+  net::Link* out = out_link_.load(std::memory_order_acquire);
+  if (out == nullptr) {
+    pool_.free_raw(p);
+    return;
+  }
+  if (account_cycles_) {
+    // Exclude backpressure waits from busy accounting: a full downstream
+    // queue is the next stage's problem, not this stage's work.
+    if (append_message(*p, msg, cfg_.num_partitions)) {
+      if (!out->send(p)) {
+        const std::uint64_t w0 = rt::rdtsc();
+        if (!out->send_blocking(p)) pool_.free_raw(p);
+        t_blocked_cycles += rt::rdtsc() - w0;
+      }
+      return;
+    }
+  }
+  if (!append_message(*p, msg, cfg_.num_partitions)) {
+    // The message outgrew this packet's tailroom (paper: use jumbo
+    // frames). Detour: ship the message on a dedicated propagating packet
+    // and send the data packet with an empty message.
+          stats_.oversize_detours.fetch_add(1, std::memory_order_relaxed);
+    emit_propagating(std::move(msg));
+    append_message(*p, PiggybackMessage{}, cfg_.num_partitions);
+  }
+  if (!out->send_blocking(p)) pool_.free_raw(p);
+}
+
+void FtcNode::emit_propagating(PiggybackMessage&& msg) {
+  if (msg.empty()) return;
+  pkt::Packet* p = Forwarder::make_propagating_packet(pool_);
+  if (p == nullptr) return;  // Pool exhausted; commits will ride later packets.
+  if (buffer_ != nullptr) {
+    buffer_->submit(p, std::move(msg));
+    return;
+  }
+  net::Link* out = out_link_.load(std::memory_order_acquire);
+  if (out == nullptr || !append_message(*p, msg, cfg_.num_partitions)) {
+    pool_.free_raw(p);
+    return;
+  }
+  if (!out->send_blocking(p)) pool_.free_raw(p);
+}
+
+void FtcNode::drain_parked() {
+  // Iterative and non-reentrant: finish_work() can cascade into further
+  // processing, so a recursive drain could overflow the stack under loss.
+  thread_local bool draining = false;
+  if (draining) return;
+  draining = true;
+
+  for (;;) {
+    std::vector<Work> candidates;
+    {
+      std::lock_guard lock(park_mutex_);
+      if (parked_.empty()) break;
+      candidates.swap(parked_);
+    }
+    bool progress = false;
+    std::vector<Work> still_blocked;
+    for (auto& work : candidates) {
+      const std::size_t before = work.next_log;
+      if (apply_logs(work)) {
+        finish_work(std::move(work));
+        progress = true;
+      } else {
+        progress = progress || work.next_log != before;
+        still_blocked.push_back(std::move(work));
+      }
+    }
+    if (!still_blocked.empty()) {
+      std::lock_guard lock(park_mutex_);
+      for (auto& work : still_blocked) parked_.push_back(std::move(work));
+    }
+    if (!progress) break;
+  }
+  draining = false;
+}
+
+void FtcNode::check_parked_timeouts() {
+  const std::uint64_t now = rt::now_ns();
+  std::vector<MboxId> to_nack;
+  {
+    std::lock_guard lock(park_mutex_);
+    for (const auto& w : parked_) {
+      if (now - w.parked_at_ns < cfg_.retransmit_timeout_ns) continue;
+      if (w.next_log >= w.msg.logs.size()) continue;
+      const MboxId blocked_on = w.msg.logs[w.next_log].mbox;
+      auto& last = last_nack_ns_[blocked_on];
+      if (now - last < cfg_.nack_min_gap_ns) continue;
+      last = now;
+      to_nack.push_back(blocked_on);
+    }
+  }
+  for (MboxId mbox : to_nack) {
+    InOrderApplier* a = applier(mbox);
+    if (a == nullptr) continue;
+    net::Message req;
+    req.type = kNack;
+    req.from = id_;
+    req.to = ring_pred_id_.load(std::memory_order_acquire);
+    req.tag = (static_cast<std::uint64_t>(id_) << 32) | mbox;
+    put_u32(req.payload, mbox);
+    put_max(req.payload, a->max());
+    ctrl_.send(std::move(req));
+    stats_.nacks_sent.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FtcNode::handle_control() {
+  while (auto msg = ctrl_.poll(id_)) {
+    switch (msg->type) {
+      case kPing: {
+        net::Message pong;
+        pong.type = kPong;
+        pong.from = id_;
+        pong.to = msg->from;
+        pong.tag = msg->tag;
+        ctrl_.send(std::move(pong));
+        break;
+      }
+      case kNack:
+        handle_nack(*msg);
+        break;
+      case kNackResp:
+        handle_nack_resp(*msg);
+        break;
+      case kFetchReq:
+        handle_fetch(*msg);
+        break;
+      case kInit:
+        handle_init(*msg);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void FtcNode::handle_init(const net::Message& req) {
+  // Orchestrator-initiated recovery (paper §5.2). Payload: list of
+  // (mbox id, source node id). The control worker is the only consumer of
+  // this node's inbox, so recover_from() can poll for responses inline.
+  std::span<const std::uint8_t> in(req.payload);
+  std::uint32_t count = 0;
+  if (!take_u32(in, count)) return;
+  std::vector<std::pair<MboxId, net::NodeId>> sources;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t mbox = 0, node = 0;
+    if (!take_u32(in, mbox) || !take_u32(in, node)) return;
+    sources.emplace_back(mbox, node);
+  }
+  // Acknowledge initialization before fetching so the orchestrator can
+  // separate initialization delay from state recovery delay (Figure 13).
+  net::Message ack;
+  ack.type = kInitAck;
+  ack.from = id_;
+  ack.to = req.from;
+  ack.tag = req.tag;
+  ctrl_.send(std::move(ack));
+
+  const std::uint64_t fetch_start = rt::now_ns();
+  const bool ok = recover_from(sources);
+  const std::uint64_t fetch_ns = rt::now_ns() - fetch_start;
+
+  net::Message done;
+  done.type = kRecovered;
+  done.from = id_;
+  done.to = req.from;
+  done.tag = req.tag;
+  done.payload.push_back(ok ? 1 : 0);
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&fetch_ns);
+  done.payload.insert(done.payload.end(), p, p + 8);
+  ctrl_.send(std::move(done));
+}
+
+void FtcNode::handle_nack(const net::Message& req) {
+  std::span<const std::uint8_t> in(req.payload);
+  std::uint32_t mbox = 0;
+  MaxVector from;
+  if (!take_u32(in, mbox) || !take_max(in, from)) return;
+
+  std::vector<PiggybackLog> logs;
+  if (head_ != nullptr && mbox == position_) {
+    logs = head_->history().logs_after(from);
+  } else if (InOrderApplier* a = applier(mbox)) {
+    logs = a->history().logs_after(from);
+  }
+
+  net::Message resp;
+  resp.type = kNackResp;
+  resp.from = id_;
+  resp.to = req.from;
+  resp.tag = req.tag;
+  put_u32(resp.payload, mbox);
+  serialize_logs(logs, resp.payload);
+  ctrl_.send(std::move(resp));
+  stats_.nacks_served.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FtcNode::handle_nack_resp(const net::Message& resp) {
+  std::span<const std::uint8_t> in(resp.payload);
+  std::uint32_t mbox = 0;
+  std::vector<PiggybackLog> logs;
+  if (!take_u32(in, mbox) || !deserialize_logs(in, logs)) return;
+  InOrderApplier* a = applier(mbox);
+  if (a == nullptr) return;
+  for (const auto& log : logs) {
+    if (a->offer(log) == InOrderApplier::Offer::kApplied)       stats_.logs_applied.fetch_add(1, std::memory_order_relaxed);
+  }
+  drain_parked();
+}
+
+void FtcNode::quiesce_and(const std::function<void()>& fn) {
+  quiesced_.store(true, std::memory_order_release);
+  while (active_workers_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  fn();
+  quiesced_.store(false, std::memory_order_release);
+}
+
+void FtcNode::handle_fetch(const net::Message& req) {
+  std::span<const std::uint8_t> in(req.payload);
+  std::uint32_t mbox = 0;
+  if (!take_u32(in, mbox)) return;
+
+  net::Message resp;
+  resp.type = kFetchResp;
+  resp.from = id_;
+  resp.to = req.from;
+  resp.tag = req.tag;
+  put_u32(resp.payload, mbox);
+
+  bool ok = false;
+  // Paper §5.2: the fetch source stops admitting packets so the transfer
+  // is a consistent cut; we quiesce the data workers for the serialization.
+  quiesce_and([&] {
+    std::vector<std::uint8_t> blob;
+    if (head_ != nullptr && mbox == position_) {
+      head_->serialize(blob);
+      ok = true;
+    } else if (InOrderApplier* a = applier(mbox)) {
+      a->serialize(blob);
+      ok = true;
+    }
+    put_u32(resp.payload, ok ? 1 : 0);
+    resp.payload.insert(resp.payload.end(), blob.begin(), blob.end());
+  });
+  ctrl_.send(std::move(resp));
+}
+
+bool FtcNode::recover_from(
+    const std::vector<std::pair<MboxId, net::NodeId>>& sources,
+    std::uint64_t timeout_ns) {
+  // All fetch requests are issued up front and responses collected as they
+  // arrive, so the per-group transfers overlap on the wire — the parallel
+  // fetch the paper credits for the replication factor's negligible impact
+  // on recovery time (§7.5).
+  struct Fetch {
+    MboxId mbox;
+    net::NodeId source;
+    bool done{false};
+    bool ok{false};
+  };
+  std::vector<Fetch> fetches;
+  for (const auto& [mbox, source] : sources) {
+    fetches.push_back(Fetch{mbox, source, false, false});
+    net::Message req;
+    req.type = kFetchReq;
+    req.from = id_;
+    req.to = source;
+    req.tag = (static_cast<std::uint64_t>(id_) << 32) | (mbox + 1);
+    put_u32(req.payload, mbox);
+    ctrl_.send(std::move(req));
+  }
+
+  const std::uint64_t deadline = rt::now_ns() + timeout_ns;
+  std::size_t outstanding = fetches.size();
+  while (outstanding > 0 && rt::now_ns() < deadline) {
+    auto msg = ctrl_.poll(id_);
+    if (!msg) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (msg->type != kFetchResp) continue;
+    std::span<const std::uint8_t> in(msg->payload);
+    std::uint32_t mbox = 0, ok = 0;
+    if (!take_u32(in, mbox) || !take_u32(in, ok)) continue;
+    for (auto& f : fetches) {
+      if (f.mbox != mbox || f.done) continue;
+      f.done = true;
+      --outstanding;
+      if (ok == 0) break;
+      if (head_ != nullptr && mbox == position_) {
+        f.ok = head_->deserialize(in);
+      } else if (InOrderApplier* a = applier(mbox)) {
+        f.ok = a->deserialize(in);
+      }
+      break;
+    }
+  }
+
+  bool all_ok = outstanding == 0;
+  for (const auto& f : fetches) all_ok = all_ok && f.ok;
+  return all_ok;
+}
+
+NodeStats FtcNode::stats() const { return stats_.snapshot(); }
+
+FtcNode::CycleBreakdown FtcNode::cycle_breakdown() const {
+  CycleBreakdown b;
+  b.packets = cyc_packets_.load();
+  b.process_cycles = cyc_process_.load();
+  b.piggyback_cycles = cyc_piggyback_.load();
+  b.forward_cycles = cyc_forward_.load();
+  return b;
+}
+
+}  // namespace sfc::ftc

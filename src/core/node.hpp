@@ -1,0 +1,257 @@
+// FTC server node (paper §5): one ring position of a fault-tolerant chain.
+//
+// Each node hosts
+//   * the head store of its own middlebox (if this ring position carries a
+//     middlebox — chains shorter than f+1 are extended with pure replica
+//     positions, paper §5.1),
+//   * in-order appliers for the f preceding middleboxes (this node is a
+//     member of their replication groups and the *tail* of exactly one),
+//   * the data-plane workers that per packet: apply piggybacked logs, do
+//     tail duty (strip + commit vector), run the packet transaction,
+//     append the new log, and forward,
+//   * a control endpoint (heartbeats, retransmissions, state fetch).
+//
+// Ring position 0 additionally runs the Forwarder, the last position the
+// EgressBuffer.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/config.hpp"
+#include "core/forwarder.hpp"
+#include "core/stores.hpp"
+#include "mbox/middlebox.hpp"
+#include "net/control.hpp"
+#include "net/link.hpp"
+#include "runtime/histogram.hpp"
+#include "runtime/meter.hpp"
+#include "runtime/worker.hpp"
+
+namespace sfc::ftc {
+
+/// Control-plane message types used by FTC nodes and the orchestrator.
+enum CtrlMsg : std::uint32_t {
+  kPing = 1,
+  kPong,
+  kNack,        ///< Retransmit request: payload = mbox id + MAX vector.
+  kNackResp,    ///< Payload = mbox id + serialized logs.
+  kFetchReq,    ///< State fetch: payload = mbox id.
+  kFetchResp,   ///< Payload = mbox id + ok flag + store/MAX/history blob.
+  kInit,        ///< Orchestrator -> new replica: begin recovery.
+  kInitAck,
+  kRecovered,   ///< New replica -> orchestrator: state recovery finished.
+};
+
+struct NodeStats {
+  std::uint64_t packets_processed{0};
+  std::uint64_t control_packets{0};
+  std::uint64_t logs_applied{0};
+  std::uint64_t logs_duplicate{0};
+  std::uint64_t packets_parked{0};
+  std::uint64_t nacks_sent{0};
+  std::uint64_t nacks_served{0};
+  std::uint64_t drops_filtered{0};
+  std::uint64_t drops_unparseable{0};
+  std::uint64_t oversize_detours{0};
+};
+
+/// Lock-free counterpart of NodeStats for the data path.
+struct NodeStatsAtomic {
+  std::atomic<std::uint64_t> packets_processed{0};
+  std::atomic<std::uint64_t> control_packets{0};
+  std::atomic<std::uint64_t> logs_applied{0};
+  std::atomic<std::uint64_t> logs_duplicate{0};
+  std::atomic<std::uint64_t> packets_parked{0};
+  std::atomic<std::uint64_t> nacks_sent{0};
+  std::atomic<std::uint64_t> nacks_served{0};
+  std::atomic<std::uint64_t> drops_filtered{0};
+  std::atomic<std::uint64_t> drops_unparseable{0};
+  std::atomic<std::uint64_t> oversize_detours{0};
+
+  NodeStats snapshot() const {
+    NodeStats s;
+    s.packets_processed = packets_processed.load(std::memory_order_relaxed);
+    s.control_packets = control_packets.load(std::memory_order_relaxed);
+    s.logs_applied = logs_applied.load(std::memory_order_relaxed);
+    s.logs_duplicate = logs_duplicate.load(std::memory_order_relaxed);
+    s.packets_parked = packets_parked.load(std::memory_order_relaxed);
+    s.nacks_sent = nacks_sent.load(std::memory_order_relaxed);
+    s.nacks_served = nacks_served.load(std::memory_order_relaxed);
+    s.drops_filtered = drops_filtered.load(std::memory_order_relaxed);
+    s.drops_unparseable = drops_unparseable.load(std::memory_order_relaxed);
+    s.oversize_detours = oversize_detours.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+class FtcNode : rt::NonCopyable {
+ public:
+  using MboxFactory = std::function<std::unique_ptr<mbox::Middlebox>()>;
+
+  struct Params {
+    net::NodeId id{0};
+    std::uint32_t position{0};    ///< Ring position.
+    std::uint32_t ring_size{0};   ///< max(chain length, f+1).
+    std::uint32_t num_mboxes{0};  ///< Real middleboxes (ring prefix).
+    const ChainConfig* cfg{nullptr};
+    pkt::PacketPool* pool{nullptr};
+    net::ControlPlane* ctrl{nullptr};
+    MboxFactory mbox_factory;     ///< Empty for pure replica positions.
+  };
+
+  explicit FtcNode(Params params);
+  ~FtcNode();
+
+  // --- Wiring (done by the chain runtime / orchestrator). ---
+  void attach_data_path(net::Link* in, net::Link* out);
+  void set_forwarder(Forwarder* fwd) { forwarder_ = fwd; }
+  void set_buffer(EgressBuffer* buf) { buffer_ = buf; }
+  void set_ring_pred(net::NodeId pred) { ring_pred_id_.store(pred); }
+
+  /// Starts data workers and the control endpoint.
+  void start();
+  /// Starts only the control endpoint (a new replica before recovery).
+  void start_control();
+  /// Graceful stop (drains nothing; used at experiment teardown).
+  void stop();
+  /// Crash-stop failure (paper's fail-stop model): threads halt, state is
+  /// lost, the control endpoint goes silent.
+  void fail();
+  bool has_failed() const noexcept { return failed_.load(); }
+
+  // --- Recovery (paper §5.2), run on a fresh node. ---
+  /// Fetches each store from @p sources (mbox id -> node currently holding
+  /// that state): the head store from the ring successor, applier stores
+  /// from the ring predecessor. Fetches run in parallel, one thread per
+  /// replication group, mirroring the paper's control module.
+  bool recover_from(const std::vector<std::pair<MboxId, net::NodeId>>& sources,
+                    std::uint64_t timeout_ns = 5'000'000'000);
+
+  // --- Introspection. ---
+  net::NodeId id() const noexcept { return id_; }
+  std::uint32_t position() const noexcept { return position_; }
+  bool has_mbox() const noexcept { return head_ != nullptr; }
+  HeadStore* head() noexcept { return head_.get(); }
+  InOrderApplier* applier(MboxId mbox) noexcept;
+  NodeStats stats() const;
+  std::size_t parked_count() {
+    std::lock_guard lock(park_mutex_);
+    return parked_.size();
+  }
+  const rt::Meter& meter() const noexcept { return meter_; }
+  mbox::Middlebox* middlebox() noexcept { return mbox_.get(); }
+
+  /// Ring position this node is the tail for (or ring_size if none).
+  std::uint32_t tail_of() const noexcept;
+
+  /// Per-packet cycle accounting for the Table-2 breakdown benchmark.
+  struct CycleBreakdown {
+    std::uint64_t packets{0};
+    std::uint64_t process_cycles{0};   ///< Packet transaction execution.
+    std::uint64_t piggyback_cycles{0}; ///< Extract/apply/append messages.
+    std::uint64_t forward_cycles{0};
+  };
+  CycleBreakdown cycle_breakdown() const;
+  void enable_cycle_accounting(bool on) noexcept { account_cycles_ = on; }
+
+  /// Productive CPU time per packet (cycles), excluding time blocked on a
+  /// full downstream queue. Used by the pipeline-throughput metric: on a
+  /// timeshared host, the throughput a real one-server-per-stage
+  /// deployment would reach is 1 / max over stages of this cost.
+  double busy_cycles_per_packet() const {
+    std::lock_guard lock(busy_mutex_);
+    // Median: per-sample rdtsc spans include preemption by the other
+    // simulated servers timesharing this host; outliers of milliseconds
+    // would swamp a mean of sub-microsecond sections.
+    return busy_hist_.count() ? static_cast<double>(busy_hist_.p50()) : 0.0;
+  }
+
+  void record_busy(std::uint64_t cycles) {
+    std::lock_guard lock(busy_mutex_);
+    busy_hist_.record(cycles);
+  }
+
+ private:
+  struct Work {
+    pkt::Packet* packet{nullptr};
+    PiggybackMessage msg;
+    std::size_t next_log{0};
+    std::uint64_t parked_at_ns{0};
+    std::uint32_t thread_id{0};
+  };
+
+  bool worker_body(std::uint32_t thread_id);
+  void process_work(Work&& work);
+  /// Phase A: applies piggyback logs in order. Returns false when blocked
+  /// on a missing predecessor log (the caller parks the work).
+  bool apply_logs(Work& work);
+  void park(Work&& work);
+  /// Phases B-D.
+  void finish_work(Work&& work);
+  void emit(pkt::Packet* p, PiggybackMessage&& msg);
+  void emit_propagating(PiggybackMessage&& msg);
+  void drain_parked();
+  void check_parked_timeouts();
+  void handle_control();
+  void handle_init(const net::Message& req);
+  void handle_fetch(const net::Message& req);
+  void handle_nack(const net::Message& req);
+  void handle_nack_resp(const net::Message& resp);
+  bool replicates(MboxId mbox) const noexcept;
+  void quiesce_and(const std::function<void()>& fn);
+
+  // Identity / topology.
+  const net::NodeId id_;
+  const std::uint32_t position_;
+  const std::uint32_t ring_size_;
+  const std::uint32_t num_mboxes_;
+  const ChainConfig& cfg_;
+  pkt::PacketPool& pool_;
+  net::ControlPlane& ctrl_;
+  std::atomic<net::NodeId> ring_pred_id_{0};
+
+  // Data path.
+  std::atomic<net::Link*> in_link_{nullptr};
+  std::atomic<net::Link*> out_link_{nullptr};
+  Forwarder* forwarder_{nullptr};
+  EgressBuffer* buffer_{nullptr};
+
+  // State.
+  std::unique_ptr<mbox::Middlebox> mbox_;
+  std::unique_ptr<HeadStore> head_;
+  std::map<MboxId, std::unique_ptr<InOrderApplier>> appliers_;
+
+  // Tail duty: applied-count at the last commit-vector attach.
+  std::atomic<std::uint64_t> last_commit_attach_{~0ULL};
+
+  // Parked packets awaiting missing piggyback logs.
+  std::mutex park_mutex_;
+  std::vector<Work> parked_;
+  std::map<MboxId, std::uint64_t> last_nack_ns_;
+
+  // Threads.
+  std::vector<std::unique_ptr<rt::Worker>> workers_;
+  std::unique_ptr<rt::Worker> control_worker_;
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> quiesced_{false};
+  std::atomic<int> active_workers_{0};
+
+  // Stats.
+  rt::Meter meter_;
+  NodeStatsAtomic stats_;
+  bool account_cycles_{false};
+  mutable std::mutex busy_mutex_;
+  rt::Histogram busy_hist_;
+  std::atomic<std::uint64_t> cyc_packets_{0};
+  std::atomic<std::uint64_t> cyc_process_{0};
+  std::atomic<std::uint64_t> cyc_piggyback_{0};
+  std::atomic<std::uint64_t> cyc_forward_{0};
+};
+
+}  // namespace sfc::ftc

@@ -1,0 +1,295 @@
+#include "core/piggyback.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace sfc::ftc {
+
+namespace {
+
+constexpr std::uint32_t kFooterMagic = 0x46544331;  // "FTC1"
+constexpr std::size_t kFooterSize = 8;              // u32 body_len, u32 magic.
+
+// Body layout:
+//   u16 log_count, u16 commit_count, u16 num_partitions, u16 reserved
+//   logs:    u32 mbox; u64 mask; u64 seq[popcount(mask)];
+//            u16 write_count; writes: u64 key, u16 len|0x8000(erase), bytes
+//   commits: u32 mbox; u64 seq[num_partitions]
+constexpr std::uint16_t kEraseFlag = 0x8000;
+constexpr std::uint16_t kLenMask = 0x7fff;
+
+class Writer {
+ public:
+  explicit Writer(std::uint8_t* out) : p_(out) {}
+
+  template <typename T>
+  void pod(T v) noexcept {
+    std::memcpy(p_, &v, sizeof(T));
+    p_ += sizeof(T);
+  }
+
+  void raw(const void* data, std::size_t len) noexcept {
+    std::memcpy(p_, data, len);
+    p_ += len;
+  }
+
+  std::uint8_t* pos() const noexcept { return p_; }
+
+ private:
+  std::uint8_t* p_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len)
+      : p_(data), end_(data + len) {}
+
+  template <typename T>
+  bool pod(T& out) noexcept {
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(&out, p_, sizeof(T));
+    p_ += sizeof(T);
+    return true;
+  }
+
+  const std::uint8_t* raw(std::size_t len) noexcept {
+    if (remaining() < len) return nullptr;
+    const std::uint8_t* out = p_;
+    p_ += len;
+    return out;
+  }
+
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+std::size_t log_size(const PiggybackLog& log) noexcept {
+  std::size_t n = 4 + 8 +
+                  8 * static_cast<std::size_t>(std::popcount(log.dep.mask)) + 2;
+  for (const auto& w : log.writes) n += 8 + 2 + w.value.size();
+  return n;
+}
+
+}  // namespace
+
+void PiggybackMessage::set_commit(MboxId mbox, const MaxVector& max) {
+  for (auto& c : commits) {
+    if (c.mbox == mbox) {
+      c.max = max;
+      return;
+    }
+  }
+  commits.push_back(CommitVector{mbox, max});
+}
+
+const MaxVector* PiggybackMessage::find_commit(MboxId mbox) const noexcept {
+  for (const auto& c : commits) {
+    if (c.mbox == mbox) return &c.max;
+  }
+  return nullptr;
+}
+
+void PiggybackMessage::strip_logs_of(MboxId mbox) {
+  logs.remove_if([mbox](const PiggybackLog& l) { return l.mbox == mbox; });
+}
+
+void PiggybackMessage::strip_commit_of(MboxId mbox) {
+  commits.remove_if([mbox](const CommitVector& c) { return c.mbox == mbox; });
+}
+
+void PiggybackMessage::merge(PiggybackMessage&& other) {
+  logs.append_move(std::move(other.logs));
+  for (auto& c : other.commits) {
+    if (const MaxVector* mine = find_commit(c.mbox)) {
+      MaxVector merged = *mine;
+      merged.merge(c.max);
+      set_commit(c.mbox, merged);
+    } else {
+      commits.push_back(std::move(c));
+    }
+  }
+}
+
+std::size_t serialized_size(const PiggybackMessage& msg,
+                            std::size_t num_partitions) noexcept {
+  std::size_t n = 8;  // Header.
+  for (const auto& log : msg.logs) n += log_size(log);
+  n += msg.commits.size() * (4 + 8 * num_partitions);
+  return n + kFooterSize;
+}
+
+bool append_message(pkt::Packet& p, const PiggybackMessage& msg,
+                    std::size_t num_partitions) {
+  const std::size_t total = serialized_size(msg, num_partitions);
+  if (p.tailroom() < total) return false;
+
+  Writer w(p.push_back(total));
+  w.pod<std::uint16_t>(static_cast<std::uint16_t>(msg.logs.size()));
+  w.pod<std::uint16_t>(static_cast<std::uint16_t>(msg.commits.size()));
+  w.pod<std::uint16_t>(static_cast<std::uint16_t>(num_partitions));
+  w.pod<std::uint16_t>(0);
+
+  for (const auto& log : msg.logs) {
+    w.pod<std::uint32_t>(log.mbox);
+    w.pod<std::uint64_t>(log.dep.mask);
+    for (std::size_t i = 0; i < state::kMaxPartitions; ++i) {
+      if (log.dep.touches(i)) w.pod<std::uint64_t>(log.dep.seq[i]);
+    }
+    w.pod<std::uint16_t>(static_cast<std::uint16_t>(log.writes.size()));
+    for (const auto& wr : log.writes) {
+      w.pod<std::uint64_t>(wr.key);
+      const auto len = static_cast<std::uint16_t>(wr.value.size());
+      w.pod<std::uint16_t>(wr.erase ? static_cast<std::uint16_t>(len | kEraseFlag)
+                                    : len);
+      w.raw(wr.value.data(), wr.value.size());
+    }
+  }
+  for (const auto& c : msg.commits) {
+    w.pod<std::uint32_t>(c.mbox);
+    for (std::size_t i = 0; i < num_partitions; ++i) {
+      w.pod<std::uint64_t>(c.max.seq[i]);
+    }
+  }
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(total - kFooterSize));
+  w.pod<std::uint32_t>(kFooterMagic);
+  return true;
+}
+
+bool has_message(const pkt::Packet& p) noexcept {
+  if (p.size() < kFooterSize) return false;
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, p.data() + p.size() - 4, 4);
+  return magic == kFooterMagic;
+}
+
+std::optional<PiggybackMessage> extract_message(pkt::Packet& p) {
+  if (!has_message(p)) return std::nullopt;
+  std::uint32_t body_len = 0;
+  std::memcpy(&body_len, p.data() + p.size() - kFooterSize, 4);
+  if (p.size() < kFooterSize + body_len) return std::nullopt;
+
+  Reader r(p.data() + p.size() - kFooterSize - body_len, body_len);
+  std::uint16_t log_count = 0, commit_count = 0, num_partitions = 0, reserved = 0;
+  if (!r.pod(log_count) || !r.pod(commit_count) || !r.pod(num_partitions) ||
+      !r.pod(reserved) || num_partitions > state::kMaxPartitions) {
+    return std::nullopt;
+  }
+
+  PiggybackMessage msg;
+  for (std::uint16_t i = 0; i < log_count; ++i) {
+    PiggybackLog log;
+    if (!r.pod(log.mbox) || !r.pod(log.dep.mask)) return std::nullopt;
+    for (std::size_t pidx = 0; pidx < state::kMaxPartitions; ++pidx) {
+      if (log.dep.touches(pidx) && !r.pod(log.dep.seq[pidx])) {
+        return std::nullopt;
+      }
+    }
+    std::uint16_t write_count = 0;
+    if (!r.pod(write_count)) return std::nullopt;
+    for (std::uint16_t wi = 0; wi < write_count; ++wi) {
+      state::StateUpdate u;
+      std::uint16_t len_flags = 0;
+      if (!r.pod(u.key) || !r.pod(len_flags)) return std::nullopt;
+      u.erase = (len_flags & kEraseFlag) != 0;
+      const std::size_t len = len_flags & kLenMask;
+      const std::uint8_t* bytes = r.raw(len);
+      if (bytes == nullptr) return std::nullopt;
+      u.value.assign({bytes, len});
+      log.writes.push_back(std::move(u));
+    }
+    msg.logs.push_back(std::move(log));
+  }
+  for (std::uint16_t i = 0; i < commit_count; ++i) {
+    CommitVector c;
+    if (!r.pod(c.mbox)) return std::nullopt;
+    for (std::size_t pidx = 0; pidx < num_partitions; ++pidx) {
+      if (!r.pod(c.max.seq[pidx])) return std::nullopt;
+    }
+    msg.commits.push_back(std::move(c));
+  }
+  if (r.remaining() != 0) return std::nullopt;
+
+  p.trim_back(kFooterSize + body_len);
+  return msg;
+}
+
+namespace {
+
+void append_pod_vec(std::vector<std::uint8_t>& out, const void* data,
+                    std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + len);
+}
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  append_pod_vec(out, &v, sizeof(v));
+}
+
+template <typename T>
+bool take(std::span<const std::uint8_t>& in, T& out) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&out, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+void serialize_logs(std::span<const PiggybackLog> logs,
+                    std::vector<std::uint8_t>& out) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(logs.size()));
+  for (const auto& log : logs) {
+    put<std::uint32_t>(out, log.mbox);
+    put<std::uint64_t>(out, log.dep.mask);
+    for (std::size_t p = 0; p < state::kMaxPartitions; ++p) {
+      if (log.dep.touches(p)) put<std::uint64_t>(out, log.dep.seq[p]);
+    }
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(log.writes.size()));
+    for (const auto& w : log.writes) {
+      put<std::uint64_t>(out, w.key);
+      put<std::uint8_t>(out, w.erase ? 1 : 0);
+      put<std::uint32_t>(out, static_cast<std::uint32_t>(w.value.size()));
+      append_pod_vec(out, w.value.data(), w.value.size());
+    }
+  }
+}
+
+bool deserialize_logs(std::span<const std::uint8_t>& in,
+                      std::vector<PiggybackLog>& out) {
+  std::uint32_t count = 0;
+  if (!take(in, count)) return false;
+  out.reserve(out.size() + count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PiggybackLog log;
+    if (!take(in, log.mbox) || !take(in, log.dep.mask)) return false;
+    for (std::size_t p = 0; p < state::kMaxPartitions; ++p) {
+      if (log.dep.touches(p) && !take(in, log.dep.seq[p])) return false;
+    }
+    std::uint32_t writes = 0;
+    if (!take(in, writes)) return false;
+    for (std::uint32_t wi = 0; wi < writes; ++wi) {
+      state::StateUpdate u;
+      std::uint8_t erase = 0;
+      std::uint32_t len = 0;
+      if (!take(in, u.key) || !take(in, erase) || !take(in, len) ||
+          in.size() < len) {
+        return false;
+      }
+      u.erase = erase != 0;
+      u.value.assign({in.data(), len});
+      in = in.subspan(len);
+      log.writes.push_back(std::move(u));
+    }
+    out.push_back(std::move(log));
+  }
+  return true;
+}
+
+}  // namespace sfc::ftc

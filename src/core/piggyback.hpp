@@ -1,0 +1,98 @@
+// Piggyback message wire format (paper §4.1, §5.1, §6).
+//
+// FTC appends state updates to the packets themselves. A piggyback message
+// is a list of piggyback logs (one per transaction still traveling toward
+// its tail) plus a list of commit vectors (one per middlebox whose tail
+// announces what has been f+1-replicated). The message lives in the
+// packet's tailroom, after the wire bytes, terminated by a fixed footer so
+// a replica can find it without tracking offsets — mirroring the paper's
+// in-place append ("there is no need to actually strip and reattach it").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/dep_vector.hpp"
+#include "runtime/small_vector.hpp"
+#include "state/txn.hpp"
+#include "packet/packet.hpp"
+#include "state/state_store.hpp"
+
+namespace sfc::ftc {
+
+using MboxId = std::uint32_t;
+
+/// State updates of one packet transaction at one middlebox, tagged with
+/// the dependency vector that orders it (paper Fig. 3).
+struct PiggybackLog {
+  MboxId mbox{0};
+  DepVector dep{};
+  state::WriteSet writes;
+
+  friend bool operator==(const PiggybackLog&, const PiggybackLog&) = default;
+};
+
+/// A tail's announcement: everything up to `max` has been replicated f+1
+/// times for middlebox `mbox` (paper §5.1's commit vector).
+struct CommitVector {
+  MboxId mbox{0};
+  MaxVector max{};
+
+  friend bool operator==(const CommitVector&, const CommitVector&) = default;
+};
+
+struct PiggybackMessage {
+  rt::SmallVector<PiggybackLog, 2> logs;
+  rt::SmallVector<CommitVector, 2> commits;
+
+  bool empty() const noexcept { return logs.empty() && commits.empty(); }
+
+  /// Appends/overwrites the commit vector for a middlebox (latest wins).
+  void set_commit(MboxId mbox, const MaxVector& max);
+
+  /// Returns the commit vector for @p mbox, if present.
+  const MaxVector* find_commit(MboxId mbox) const noexcept;
+
+  /// Removes all logs belonging to @p mbox (what a tail does).
+  void strip_logs_of(MboxId mbox);
+
+  /// Removes the commit vector of @p mbox (what the head does once the
+  /// vector has traveled the full ring).
+  void strip_commit_of(MboxId mbox);
+
+  /// Merges another message into this one: logs are concatenated in order,
+  /// commit vectors merged componentwise (used by the forwarder when
+  /// several buffer hand-offs ride one ingress packet).
+  void merge(PiggybackMessage&& other);
+
+  friend bool operator==(const PiggybackMessage&, const PiggybackMessage&) =
+      default;
+};
+
+/// Serialized size of @p msg with @p num_partitions-wide commit vectors
+/// (including the footer).
+std::size_t serialized_size(const PiggybackMessage& msg,
+                            std::size_t num_partitions) noexcept;
+
+/// Appends @p msg to the packet's tail. Returns false (packet untouched)
+/// if the tailroom cannot hold it — the caller treats this as the
+/// "piggyback message too large for the frame" condition the paper
+/// resolves with jumbo frames.
+bool append_message(pkt::Packet& p, const PiggybackMessage& msg,
+                    std::size_t num_partitions);
+
+/// True if the packet carries a piggyback message footer.
+bool has_message(const pkt::Packet& p) noexcept;
+
+/// Parses and removes the piggyback message from the packet tail.
+/// Returns std::nullopt if no valid message is attached.
+std::optional<PiggybackMessage> extract_message(pkt::Packet& p);
+
+/// --- Out-of-band log serialization (retransmissions, state fetch). ---
+void serialize_logs(std::span<const PiggybackLog> logs,
+                    std::vector<std::uint8_t>& out);
+bool deserialize_logs(std::span<const std::uint8_t>& in,
+                      std::vector<PiggybackLog>& out);
+
+}  // namespace sfc::ftc

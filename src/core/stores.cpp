@@ -1,0 +1,115 @@
+#include "core/stores.hpp"
+
+#include <cstring>
+
+namespace sfc::ftc {
+
+namespace {
+
+// Failover transfer blob: store contents, then the MAX / dependency
+// vector, then the retained log history. The format is shared by HeadStore
+// and InOrderApplier because a failed head is restored FROM its
+// successor's applier and vice versa (paper §5.2).
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+bool take_u32(std::span<const std::uint8_t>& in, std::uint32_t& v) {
+  if (in.size() < 4) return false;
+  std::memcpy(&v, in.data(), 4);
+  in = in.subspan(4);
+  return true;
+}
+
+void put_vector(std::vector<std::uint8_t>& out, const MaxVector& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(v.seq.data());
+  out.insert(out.end(), p, p + sizeof(v.seq));
+}
+
+bool take_vector(std::span<const std::uint8_t>& in, MaxVector& v) {
+  if (in.size() < sizeof(v.seq)) return false;
+  std::memcpy(v.seq.data(), in.data(), sizeof(v.seq));
+  in = in.subspan(sizeof(v.seq));
+  return true;
+}
+
+}  // namespace
+
+void HeadStore::serialize(std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> store_blob;
+  store_.serialize(store_blob);
+  put_u32(out, static_cast<std::uint32_t>(store_blob.size()));
+  out.insert(out.end(), store_blob.begin(), store_blob.end());
+  MaxVector deps;
+  deps.seq = txn_ctx_.sequence_snapshot();
+  put_vector(out, deps);
+  serialize_logs(history_.logs_after(MaxVector{}), out);
+}
+
+bool HeadStore::deserialize(std::span<const std::uint8_t> in) {
+  std::uint32_t store_len = 0;
+  if (!take_u32(in, store_len) || in.size() < store_len) return false;
+  if (!store_.deserialize(in.subspan(0, store_len))) return false;
+  in = in.subspan(store_len);
+  MaxVector deps;
+  if (!take_vector(in, deps)) return false;
+  // Paper §5.2: the new head adopts the fetched MAX as its dependency
+  // vector, so the next transactions continue the sequence numbers.
+  txn_ctx_.restore_sequences(deps.seq);
+  std::vector<PiggybackLog> logs;
+  if (!deserialize_logs(in, logs)) return false;
+  for (const auto& log : logs) history_.record(log);
+  return in.empty();
+}
+
+InOrderApplier::Offer InOrderApplier::offer(const PiggybackLog& log) {
+  {
+    std::lock_guard lock(mutex_);
+    switch (classify(max_, log.dep)) {
+      case LogFit::kDuplicate:
+        return Offer::kDuplicate;
+      case LogFit::kFuture:
+        return Offer::kHeld;
+      case LogFit::kApplicable:
+        break;
+    }
+    max_.advance(log.dep);
+    // Apply inside the MAX mutex: the touched partitions' next logs only
+    // become applicable after max_ advanced, and advancing before the
+    // store write would let a dependent log overtake this one's writes.
+    store_.apply(log.writes);
+  }
+  history_.record(log);
+  applied_.fetch_add(1, std::memory_order_release);
+  return Offer::kApplied;
+}
+
+void InOrderApplier::serialize(std::vector<std::uint8_t>& out) {
+  std::vector<std::uint8_t> store_blob;
+  store_.serialize(store_blob);
+  put_u32(out, static_cast<std::uint32_t>(store_blob.size()));
+  out.insert(out.end(), store_blob.begin(), store_blob.end());
+  put_vector(out, max());
+  serialize_logs(history_.logs_after(MaxVector{}), out);
+}
+
+bool InOrderApplier::deserialize(std::span<const std::uint8_t> in) {
+  std::uint32_t store_len = 0;
+  if (!take_u32(in, store_len) || in.size() < store_len) return false;
+  if (!store_.deserialize(in.subspan(0, store_len))) return false;
+  in = in.subspan(store_len);
+  MaxVector restored;
+  if (!take_vector(in, restored)) return false;
+  std::vector<PiggybackLog> logs;
+  if (!deserialize_logs(in, logs)) return false;
+  {
+    std::lock_guard lock(mutex_);
+    max_ = restored;
+  }
+  for (const auto& log : logs) history_.record(log);
+  applied_.fetch_add(1, std::memory_order_release);
+  return in.empty();
+}
+
+}  // namespace sfc::ftc

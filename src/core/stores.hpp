@@ -1,0 +1,156 @@
+// Per-server replication state: the head store (the middlebox's own state
+// plus transaction machinery and the log history used to serve
+// retransmissions) and in-order appliers (one per predecessor middlebox
+// this server replicates).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/dep_vector.hpp"
+#include "core/piggyback.hpp"
+#include "state/txn.hpp"
+
+namespace sfc::ftc {
+
+/// Bounded per-store history of piggyback logs, kept for retransmission to
+/// successors; pruned by commit vectors (paper §4.1/§5.1) and bounded by
+/// capacity as a backstop for group members that never see the commit.
+class LogHistory {
+ public:
+  explicit LogHistory(std::size_t capacity) : capacity_(capacity) {}
+
+  void record(const PiggybackLog& log) {
+    std::lock_guard lock(mutex_);
+    logs_.push_back(log);
+    if (logs_.size() > capacity_) logs_.pop_front();
+  }
+
+  /// Drops every log covered by @p commit.
+  void prune(const MaxVector& commit) {
+    std::lock_guard lock(mutex_);
+    while (!logs_.empty() && commit.covers(logs_.front().dep)) {
+      logs_.pop_front();
+    }
+  }
+
+  /// Logs not yet covered by @p from, in order (the retransmission body).
+  std::vector<PiggybackLog> logs_after(const MaxVector& from) const {
+    std::lock_guard lock(mutex_);
+    std::vector<PiggybackLog> out;
+    for (const auto& log : logs_) {
+      if (!from.covers(log.dep)) out.push_back(log);
+    }
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return logs_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<PiggybackLog> logs_;
+};
+
+/// The head side of one middlebox's replication group (paper §4.1): the
+/// authoritative store, the transactional runtime, and the history of logs
+/// this head has emitted.
+class HeadStore : rt::NonCopyable {
+ public:
+  HeadStore(MboxId mbox, const ChainConfig& cfg)
+      : mbox_(mbox),
+        store_(cfg.num_partitions),
+        txn_ctx_(store_),
+        history_(cfg.history_capacity) {}
+
+  MboxId mbox() const noexcept { return mbox_; }
+  state::StateStore& store() noexcept { return store_; }
+  state::TxnContext& txn_ctx() noexcept { return txn_ctx_; }
+
+  /// Converts a committed transaction into this middlebox's piggyback log
+  /// and records it for retransmission.
+  PiggybackLog make_log(state::TxnRecord&& record) {
+    PiggybackLog log;
+    log.mbox = mbox_;
+    log.dep.mask = record.touched_mask;
+    log.dep.seq = record.seqs;
+    log.writes = std::move(record.writes);
+    history_.record(log);
+    return log;
+  }
+
+  void prune(const MaxVector& commit) { history_.prune(commit); }
+
+  LogHistory& history() noexcept { return history_; }
+
+  /// Serializes store + dependency vector for failover transfer. Only
+  /// called on a quiesced store (the source has stopped admitting
+  /// packets).
+  void serialize(std::vector<std::uint8_t>& out);
+  bool deserialize(std::span<const std::uint8_t> in);
+
+ private:
+  MboxId mbox_;
+  state::StateStore store_;
+  state::TxnContext txn_ctx_;
+  LogHistory history_;
+};
+
+/// The replica side: applies piggyback logs to a local store in the
+/// partial order defined by dependency vectors (paper §4.3, Fig. 3).
+class InOrderApplier : rt::NonCopyable {
+ public:
+  InOrderApplier(MboxId mbox, const ChainConfig& cfg)
+      : mbox_(mbox),
+        store_(cfg.num_partitions),
+        history_(cfg.history_capacity) {}
+
+  MboxId mbox() const noexcept { return mbox_; }
+  state::StateStore& store() noexcept { return store_; }
+
+  enum class Offer : std::uint8_t { kApplied, kDuplicate, kHeld };
+
+  /// Attempts to apply @p log. kHeld means a predecessor log is missing
+  /// (the caller parks the packet). Applied logs are recorded in the
+  /// history for retransmission to this replica's own successor.
+  Offer offer(const PiggybackLog& log);
+
+  /// Current MAX vector (the tail's commit vector when this replica is the
+  /// tail of its group).
+  MaxVector max() const {
+    std::lock_guard lock(mutex_);
+    return max_;
+  }
+
+  void prune(const MaxVector& commit) { history_.prune(commit); }
+
+  LogHistory& history() noexcept { return history_; }
+
+  /// Count of successfully applied logs (version counter used by parked-
+  /// packet wakeup).
+  std::uint64_t applied_count() const noexcept {
+    return applied_.load(std::memory_order_acquire);
+  }
+
+  /// Serializes store + MAX for failover transfer (quiesced source only).
+  void serialize(std::vector<std::uint8_t>& out);
+  bool deserialize(std::span<const std::uint8_t> in);
+
+ private:
+  MboxId mbox_;
+  state::StateStore store_;
+  mutable std::mutex mutex_;
+  MaxVector max_{};
+  LogHistory history_;
+  std::atomic<std::uint64_t> applied_{0};
+};
+
+}  // namespace sfc::ftc

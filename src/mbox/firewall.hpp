@@ -1,0 +1,69 @@
+// Firewall: stateless rule-based filter (paper Table 1).
+//
+// Matches packets against an ordered rule list (prefix + port + protocol,
+// first match wins) with a configurable default action. Stateless: the
+// runtime skips the transaction machinery, so under FTC the head emits a
+// propagating packet when the firewall drops a packet that carries a
+// piggyback message (paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mbox/middlebox.hpp"
+
+namespace sfc::mbox {
+
+struct FirewallRule {
+  std::uint32_t src_prefix{0};
+  std::uint32_t src_mask{0};      ///< 0 = wildcard.
+  std::uint32_t dst_prefix{0};
+  std::uint32_t dst_mask{0};
+  std::uint16_t dst_port{0};      ///< 0 = wildcard.
+  std::uint8_t protocol{0};       ///< 0 = wildcard.
+  bool allow{true};
+
+  bool matches(const pkt::FlowKey& flow) const noexcept {
+    if ((flow.src_ip & src_mask) != (src_prefix & src_mask)) return false;
+    if ((flow.dst_ip & dst_mask) != (dst_prefix & dst_mask)) return false;
+    if (dst_port != 0 && flow.dst_port != dst_port) return false;
+    if (protocol != 0 && flow.protocol != protocol) return false;
+    return true;
+  }
+};
+
+class Firewall final : public Middlebox {
+ public:
+  explicit Firewall(std::vector<FirewallRule> rules = {},
+                    bool default_allow = true)
+      : rules_(std::move(rules)), default_allow_(default_allow) {}
+
+  std::string_view name() const noexcept override { return "Firewall"; }
+  bool stateless() const noexcept override { return true; }
+
+  Verdict process(state::Txn& txn, pkt::Packet& packet,
+                  pkt::ParsedPacket& parsed, ProcessContext& ctx) override {
+    (void)txn;
+    return process_stateless(packet, parsed, ctx);
+  }
+
+  Verdict process_stateless(pkt::Packet& packet, pkt::ParsedPacket& parsed,
+                            ProcessContext& ctx) override {
+    (void)packet;
+    (void)ctx;
+    for (const auto& rule : rules_) {
+      if (rule.matches(parsed.flow)) {
+        return rule.allow ? Verdict::kForward : Verdict::kDrop;
+      }
+    }
+    return default_allow_ ? Verdict::kForward : Verdict::kDrop;
+  }
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  std::vector<FirewallRule> rules_;
+  bool default_allow_;
+};
+
+}  // namespace sfc::mbox

@@ -1,0 +1,26 @@
+#include "mbox/gen.hpp"
+
+#include <vector>
+
+namespace sfc::mbox {
+
+Verdict Gen::process(state::Txn& txn, pkt::Packet& packet,
+                     pkt::ParsedPacket& parsed, ProcessContext& ctx) {
+  (void)parsed;
+  // Per-thread key: Gen models write volume, not contention.
+  const state::Key key = state::key_of_name("gen-state") + ctx.thread_id;
+  // Stack buffer patterned from the packet id, so the replicated value is
+  // verifiable downstream.
+  std::uint8_t value[4096];
+  const std::uint32_t n = state_size_ <= sizeof(value)
+                              ? state_size_
+                              : static_cast<std::uint32_t>(sizeof(value));
+  const auto tag = static_cast<std::uint8_t>(packet.anno().packet_id);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    value[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  txn.write(key, state::Bytes(value, n));
+  return Verdict::kForward;
+}
+
+}  // namespace sfc::mbox

@@ -1,0 +1,30 @@
+// Gen: write-heavy synthetic middlebox (paper Table 1, Figure 5).
+//
+// Writes a fresh state value of a configurable size on every packet, with
+// no reads — the worst case for replication volume. The state-size
+// parameter drives the paper's piggyback-size sweep.
+#pragma once
+
+#include <cstdint>
+
+#include "mbox/middlebox.hpp"
+
+namespace sfc::mbox {
+
+class Gen final : public Middlebox {
+ public:
+  explicit Gen(std::uint32_t state_size_bytes = 32)
+      : state_size_(state_size_bytes) {}
+
+  std::string_view name() const noexcept override { return "Gen"; }
+
+  Verdict process(state::Txn& txn, pkt::Packet& packet,
+                  pkt::ParsedPacket& parsed, ProcessContext& ctx) override;
+
+  std::uint32_t state_size() const noexcept { return state_size_; }
+
+ private:
+  std::uint32_t state_size_;
+};
+
+}  // namespace sfc::mbox

@@ -1,0 +1,53 @@
+// LoadBalancer: connection-persistent L4 load balancer (extension).
+//
+// The paper cites load balancers as the canonical middlebox needing
+// connection persistence through shared state (§3.2): once a flow is
+// assigned a backend, every later packet — processed by any thread — must
+// reach the same backend. The flow table entry is the replicated state;
+// backend selection uses a shared round-robin counter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mbox/middlebox.hpp"
+
+namespace sfc::mbox {
+
+class LoadBalancer final : public Middlebox {
+ public:
+  explicit LoadBalancer(std::vector<std::uint32_t> backend_ips)
+      : backends_(std::move(backend_ips)) {}
+
+  std::string_view name() const noexcept override { return "LoadBalancer"; }
+
+  Verdict process(state::Txn& txn, pkt::Packet& packet,
+                  pkt::ParsedPacket& parsed, ProcessContext& ctx) override {
+    (void)packet;
+    (void)ctx;
+    if (backends_.empty()) return Verdict::kDrop;
+    const state::Key key = parsed.flow.hash();
+
+    std::uint32_t backend;
+    if (const auto existing = txn.read(key)) {
+      backend = existing->as<std::uint32_t>();  // Connection persistence.
+    } else {
+      const std::uint64_t turn = txn.fetch_add(rr_key(), 1);
+      backend = backends_[turn % backends_.size()];
+      txn.write(key, state::Bytes::of(backend));
+    }
+    pkt::FlowKey rewritten = parsed.flow;
+    rewritten.dst_ip = backend;
+    ctx.deferred_rewrite = rewritten;
+    return Verdict::kForward;
+  }
+
+  static state::Key rr_key() noexcept {
+    return state::key_of_name("lb-round-robin");
+  }
+
+ private:
+  std::vector<std::uint32_t> backends_;
+};
+
+}  // namespace sfc::mbox

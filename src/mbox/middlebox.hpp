@@ -1,0 +1,70 @@
+// Middlebox interface (Click-style virtual network function).
+//
+// A middlebox processes one packet inside a packet transaction (paper
+// §3.2): all state reads/writes go through the supplied Txn, which the
+// hosting runtime (FTC head, NF baseline, or FTMB master) wraps with its
+// own replication machinery. Implementations must be re-executable: a
+// wounded transaction is rolled back and the packet re-processed, so all
+// packet mutations must be idempotent given the same transaction reads
+// (rewriting headers from looked-up state is; appending to the packet is
+// not unless guarded).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "packet/packet_io.hpp"
+#include "state/txn.hpp"
+
+namespace sfc::mbox {
+
+enum class Verdict : std::uint8_t {
+  kForward,  ///< Pass the packet to the next hop.
+  kDrop,     ///< Filter the packet (its state updates still replicate).
+};
+
+/// Per-invocation context handed to the middlebox.
+struct ProcessContext {
+  std::uint32_t thread_id{0};   ///< Index of the processing thread.
+  std::uint32_t num_threads{1};
+
+  /// Packet mutations requested by the middlebox. A wounded transaction is
+  /// re-executed, so middleboxes must not touch packet bytes directly:
+  /// they record the intended rewrite here and the hosting runtime applies
+  /// it exactly once, after the transaction commits.
+  std::optional<pkt::FlowKey> deferred_rewrite;
+};
+
+class Middlebox {
+ public:
+  virtual ~Middlebox() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// True if the middlebox keeps no state (the runtime then skips the
+  /// transaction machinery entirely, like the paper's Firewall).
+  virtual bool stateless() const noexcept { return false; }
+
+  /// Processes one packet. @p parsed covers only the wire bytes (any
+  /// piggyback message is already hidden by the runtime, paper §6).
+  virtual Verdict process(state::Txn& txn, pkt::Packet& packet,
+                          pkt::ParsedPacket& parsed,
+                          ProcessContext& ctx) = 0;
+
+  /// Stateless-path variant (only called when stateless() is true).
+  virtual Verdict process_stateless(pkt::Packet& packet,
+                                    pkt::ParsedPacket& parsed,
+                                    ProcessContext& ctx) {
+    (void)packet;
+    (void)parsed;
+    (void)ctx;
+    return Verdict::kForward;
+  }
+};
+
+using MiddleboxFactory = std::unique_ptr<Middlebox> (*)();
+
+}  // namespace sfc::mbox

@@ -1,0 +1,15 @@
+#include "mbox/monitor.hpp"
+
+namespace sfc::mbox {
+
+Verdict Monitor::process(state::Txn& txn, pkt::Packet& packet,
+                         pkt::ParsedPacket& parsed, ProcessContext& ctx) {
+  (void)packet;
+  const state::Key key = mode_ == Mode::kSharedCounter
+                             ? counter_key(ctx.thread_id)
+                             : parsed.flow.hash();
+  txn.fetch_add(key, 1);
+  return Verdict::kForward;
+}
+
+}  // namespace sfc::mbox

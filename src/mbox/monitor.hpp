@@ -1,0 +1,44 @@
+// Monitor: read/write-heavy middlebox (paper Table 1).
+//
+// Counts packets per flow or across flows. The "sharing level" parameter
+// reproduces the paper's Figure 6 contention knob: with T threads and
+// sharing level s, threads are grouped into T/s groups of s; every thread
+// in a group increments the same shared counter (s=1: thread-private
+// counters, no contention; s=T: one global counter, maximal contention).
+#pragma once
+
+#include <cstdint>
+
+#include "mbox/middlebox.hpp"
+
+namespace sfc::mbox {
+
+class Monitor final : public Middlebox {
+ public:
+  enum class Mode : std::uint8_t {
+    kSharedCounter,  ///< Counter selected by thread group (sharing level).
+    kPerFlow,        ///< Counter per 5-tuple flow.
+  };
+
+  explicit Monitor(std::uint32_t sharing_level = 1,
+                   Mode mode = Mode::kSharedCounter)
+      : sharing_level_(sharing_level == 0 ? 1 : sharing_level), mode_(mode) {}
+
+  std::string_view name() const noexcept override { return "Monitor"; }
+
+  Verdict process(state::Txn& txn, pkt::Packet& packet,
+                  pkt::ParsedPacket& parsed, ProcessContext& ctx) override;
+
+  std::uint32_t sharing_level() const noexcept { return sharing_level_; }
+
+  /// The state key the given thread's group increments.
+  state::Key counter_key(std::uint32_t thread_id) const noexcept {
+    return state::key_of_name("monitor-count") + thread_id / sharing_level_;
+  }
+
+ private:
+  std::uint32_t sharing_level_;
+  Mode mode_;
+};
+
+}  // namespace sfc::mbox

@@ -1,0 +1,67 @@
+#include "mbox/nat.hpp"
+
+#include "runtime/clock.hpp"
+
+namespace sfc::mbox {
+
+Verdict MazuNat::process(state::Txn& txn, pkt::Packet& packet,
+                         pkt::ParsedPacket& parsed, ProcessContext& ctx) {
+  (void)packet;
+  const pkt::FlowKey& flow = parsed.flow;
+  const state::Key key = flow.hash();
+
+  // Fast path: existing mapping (read-only transaction).
+  if (const auto entry = txn.read(key)) {
+    ctx.deferred_rewrite = entry->as<NatEntry>().rewritten;
+    return Verdict::kForward;
+  }
+
+  if (is_internal(flow.src_ip)) {
+    // New outbound flow: allocate an external port from the shared
+    // counter and install both directions.
+    const std::uint64_t seq = txn.fetch_add(port_counter_key(), 1);
+    const auto port = static_cast<std::uint16_t>(
+        cfg_.port_base + seq % cfg_.port_count);
+
+    pkt::FlowKey outbound = flow;
+    outbound.src_ip = cfg_.external_ip;
+    outbound.src_port = port;
+
+    // Return traffic arrives addressed to (external_ip, port); map it back
+    // to the internal endpoint.
+    pkt::FlowKey inbound_match = outbound.reversed();
+    pkt::FlowKey inbound_rewrite = flow.reversed();
+
+    const std::uint64_t now = rt::now_ns();
+    txn.write(key, state::Bytes::of(NatEntry{outbound, now}));
+    txn.write(inbound_match.hash(),
+              state::Bytes::of(NatEntry{inbound_rewrite, now}));
+    ctx.deferred_rewrite = outbound;
+    return Verdict::kForward;
+  }
+
+  // Inbound packet with no mapping: the NAT has no translation — drop
+  // (same as mazu-nat's default deny for unsolicited inbound).
+  return Verdict::kDrop;
+}
+
+Verdict SimpleNat::process(state::Txn& txn, pkt::Packet& packet,
+                           pkt::ParsedPacket& parsed, ProcessContext& ctx) {
+  (void)packet;
+  const state::Key key = parsed.flow.hash();
+  if (const auto entry = txn.read(key)) {
+    ctx.deferred_rewrite = entry->as<NatEntry>().rewritten;
+    return Verdict::kForward;
+  }
+  // First packet of the flow: derive a stable external port from the flow
+  // hash (no shared allocator — that's MazuNAT's job).
+  pkt::FlowKey rewritten = parsed.flow;
+  rewritten.src_ip = external_ip_;
+  rewritten.src_port =
+      static_cast<std::uint16_t>(1024 + (parsed.flow.hash() % 60000));
+  txn.write(key, state::Bytes::of(NatEntry{rewritten, rt::now_ns()}));
+  ctx.deferred_rewrite = rewritten;
+  return Verdict::kForward;
+}
+
+}  // namespace sfc::mbox

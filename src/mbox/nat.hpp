@@ -1,0 +1,74 @@
+// Network address translators (paper Table 1).
+//
+// MazuNAT models the core of the commercial Click mazu-nat configuration
+// the paper uses: a bidirectional flow table with shared port allocation —
+// read-heavy (one lookup per packet) with a write per new flow.
+// SimpleNAT provides the basic outbound-rewrite path only.
+//
+// State layout (per flow-table entry):
+//   key   = FlowKey::hash() of the original (or externalized) 5-tuple
+//   value = NatEntry { translated flow, creation time }
+// Port allocation uses a single shared counter key, which is the shared
+// write the paper attributes to NAT connection persistence (§3.2).
+#pragma once
+
+#include <cstdint>
+
+#include "mbox/middlebox.hpp"
+#include "packet/flow.hpp"
+
+namespace sfc::mbox {
+
+/// Flow-table entry value stored in the state store.
+struct NatEntry {
+  pkt::FlowKey rewritten{};  ///< What the packet's flow becomes.
+  std::uint64_t created_ns{0};
+};
+
+class MazuNat final : public Middlebox {
+ public:
+  struct Config {
+    std::uint32_t external_ip{0xc0a80a01};     // 192.168.10.1
+    std::uint32_t internal_prefix{0x0a000000}; // 10.0.0.0/8 is "inside".
+    std::uint32_t internal_mask{0xff000000};
+    std::uint16_t port_base{10000};
+    std::uint16_t port_count{50000};
+  };
+
+  MazuNat() : MazuNat(Config{}) {}
+  explicit MazuNat(Config cfg) : cfg_(cfg) {}
+
+  std::string_view name() const noexcept override { return "MazuNAT"; }
+
+  Verdict process(state::Txn& txn, pkt::Packet& packet,
+                  pkt::ParsedPacket& parsed, ProcessContext& ctx) override;
+
+  const Config& config() const noexcept { return cfg_; }
+
+  static state::Key port_counter_key() noexcept {
+    return state::key_of_name("mazunat-next-port");
+  }
+
+ private:
+  bool is_internal(std::uint32_t ip) const noexcept {
+    return (ip & cfg_.internal_mask) == cfg_.internal_prefix;
+  }
+
+  Config cfg_;
+};
+
+class SimpleNat final : public Middlebox {
+ public:
+  explicit SimpleNat(std::uint32_t external_ip = 0xc0a81401)  // 192.168.20.1
+      : external_ip_(external_ip) {}
+
+  std::string_view name() const noexcept override { return "SimpleNAT"; }
+
+  Verdict process(state::Txn& txn, pkt::Packet& packet,
+                  pkt::ParsedPacket& parsed, ProcessContext& ctx) override;
+
+ private:
+  std::uint32_t external_ip_;
+};
+
+}  // namespace sfc::mbox

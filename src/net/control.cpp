@@ -1,0 +1,122 @@
+#include "net/control.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "runtime/clock.hpp"
+
+namespace sfc::net {
+
+void ControlPlane::register_node(NodeId node) {
+  std::lock_guard lock(mutex_);
+  inboxes_.try_emplace(node);
+}
+
+void ControlPlane::set_delay(NodeId a, NodeId b, std::uint64_t one_way_ns) {
+  std::lock_guard lock(mutex_);
+  pair_delay_ns_[pair_key(a, b)] = one_way_ns;
+}
+
+void ControlPlane::set_region(NodeId node, std::uint32_t region) {
+  std::lock_guard lock(mutex_);
+  regions_[node] = region;
+}
+
+void ControlPlane::set_inter_region_delay(std::uint64_t one_way_ns) {
+  std::lock_guard lock(mutex_);
+  inter_region_delay_ns_ = one_way_ns;
+}
+
+void ControlPlane::set_region_delay(std::uint32_t region_a,
+                                    std::uint32_t region_b,
+                                    std::uint64_t one_way_ns) {
+  std::lock_guard lock(mutex_);
+  region_pair_delay_ns_[pair_key(region_a, region_b)] = one_way_ns;
+}
+
+std::uint64_t ControlPlane::delay_between(NodeId a, NodeId b) const {
+  std::lock_guard lock(mutex_);
+  if (const auto it = pair_delay_ns_.find(pair_key(a, b));
+      it != pair_delay_ns_.end()) {
+    return it->second;
+  }
+  const auto ra = regions_.find(a);
+  const auto rb = regions_.find(b);
+  if (ra != regions_.end() && rb != regions_.end() &&
+      ra->second != rb->second) {
+    if (const auto it = region_pair_delay_ns_.find(
+            pair_key(ra->second, rb->second));
+        it != region_pair_delay_ns_.end()) {
+      return it->second;
+    }
+    return inter_region_delay_ns_;
+  }
+  return 0;
+}
+
+void ControlPlane::set_bandwidth_gbps(double gbps) {
+  std::lock_guard lock(mutex_);
+  ns_per_byte_ = gbps > 0.0 ? 8.0 / gbps : 0.0;
+}
+
+void ControlPlane::send(Message msg) {
+  std::uint64_t deliver_at = rt::now_ns() + delay_between(msg.from, msg.to);
+  {
+    std::lock_guard lock(mutex_);
+    deliver_at += static_cast<std::uint64_t>(
+        ns_per_byte_ * static_cast<double>(msg.payload.size()));
+  }
+  std::lock_guard lock(mutex_);
+  auto it = inboxes_.find(msg.to);
+  if (it == inboxes_.end()) return;  // Unknown destination: silently dropped.
+  // Keep the inbox ordered by delivery time so heterogeneous delays do not
+  // block short-delay messages behind long-delay ones.
+  auto& q = it->second.queue;
+  auto pos = std::upper_bound(
+      q.begin(), q.end(), deliver_at,
+      [](std::uint64_t t, const Timed& m) { return t < m.deliver_at_ns; });
+  q.insert(pos, Timed{std::move(msg), deliver_at});
+}
+
+std::optional<Message> ControlPlane::poll(NodeId node) {
+  std::lock_guard lock(mutex_);
+  auto it = inboxes_.find(node);
+  if (it == inboxes_.end() || it->second.queue.empty()) return std::nullopt;
+  auto& head = it->second.queue.front();
+  if (head.deliver_at_ns > rt::now_ns()) return std::nullopt;
+  Message out = std::move(head.msg);
+  it->second.queue.pop_front();
+  return out;
+}
+
+std::optional<Message> ControlPlane::wait_for(NodeId node, std::uint32_t type,
+                                              std::uint64_t timeout_ns,
+                                              std::uint64_t tag) {
+  const std::uint64_t deadline = rt::now_ns() + timeout_ns;
+  std::vector<Message> requeue;
+  std::optional<Message> found;
+  while (rt::now_ns() <= deadline) {
+    if (auto msg = poll(node)) {
+      if (msg->type == type && (tag == 0 || msg->tag == tag)) {
+        found = std::move(msg);
+        break;
+      }
+      requeue.push_back(std::move(*msg));
+      continue;
+    }
+    std::this_thread::yield();
+  }
+  if (!requeue.empty()) {
+    std::lock_guard lock(mutex_);
+    auto it = inboxes_.find(node);
+    if (it != inboxes_.end()) {
+      const std::uint64_t now = rt::now_ns();
+      for (auto rit = requeue.rbegin(); rit != requeue.rend(); ++rit) {
+        it->second.queue.push_front(Timed{std::move(*rit), now});
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace sfc::net

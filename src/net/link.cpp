@@ -1,0 +1,107 @@
+#include "net/link.hpp"
+
+#include <thread>
+
+#include "runtime/clock.hpp"
+
+namespace sfc::net {
+
+Link::Link(pkt::PacketPool& pool, LinkConfig cfg)
+    : pool_(pool),
+      cfg_(cfg),
+      fast_path_(cfg.delay_ns == 0 && cfg.loss == 0.0 && cfg.reorder == 0.0),
+      fast_queue_(cfg.capacity) {}
+
+bool Link::lossy_drop() noexcept {
+  if (cfg_.loss <= 0.0) return false;
+  // Deterministic pseudo-random draw: hash a shared counter so concurrent
+  // senders need no locked RNG and runs are reproducible.
+  const std::uint64_t draw = rt::splitmix64(
+      loss_counter_.fetch_add(1, std::memory_order_relaxed) ^ cfg_.seed);
+  return static_cast<double>(draw >> 11) * 0x1.0p-53 < cfg_.loss;
+}
+
+bool Link::send(pkt::Packet* p) {
+  if (fast_path_) {
+    if (!fast_queue_.try_push(std::move(p))) {
+      dropped_full_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    sent_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  if (lossy_drop()) {
+    dropped_loss_.fetch_add(1, std::memory_order_relaxed);
+    pool_.free_raw(p);
+    return true;  // The sender cannot observe wire loss.
+  }
+
+  std::uint64_t deliver_at = rt::now_ns() + cfg_.delay_ns;
+  if (cfg_.reorder > 0.0) {
+    const std::uint64_t draw = rt::splitmix64(
+        loss_counter_.fetch_add(1, std::memory_order_relaxed) ^ ~cfg_.seed);
+    if (static_cast<double>(draw >> 11) * 0x1.0p-53 < cfg_.reorder) {
+      deliver_at += cfg_.reorder_extra_ns;
+    }
+  }
+
+  std::lock_guard lock(mutex_);
+  if (timed_queue_.size() >= cfg_.capacity) {
+    dropped_full_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  timed_queue_.push_back(Timed{p, deliver_at});
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Link::send_blocking(pkt::Packet* p, std::uint64_t timeout_ns) {
+  const std::uint64_t deadline = rt::now_ns() + timeout_ns;
+  while (!send(p)) {
+    if (rt::now_ns() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+pkt::Packet* Link::poll() {
+  if (fast_path_) {
+    auto p = fast_queue_.try_pop();
+    if (!p) return nullptr;
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    return *p;
+  }
+
+  std::lock_guard lock(mutex_);
+  const std::uint64_t now = rt::now_ns();
+  // Deliver the first ready packet; reordered packets (larger deliver_at)
+  // are skipped over, which is exactly the reordering a multi-path fabric
+  // produces.
+  for (auto it = timed_queue_.begin(); it != timed_queue_.end(); ++it) {
+    if (it->deliver_at_ns <= now) {
+      pkt::Packet* p = it->packet;
+      timed_queue_.erase(it);
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+    // Packets are queued in send order; if the head is not ready, a later
+    // packet can only be ready when reordering shortened... it cannot.
+    // Only reordered (lengthened) head packets let successors pass.
+    if (cfg_.reorder <= 0.0) break;
+  }
+  return nullptr;
+}
+
+LinkStats Link::stats() const noexcept {
+  return LinkStats{sent_.load(), delivered_.load(), dropped_loss_.load(),
+                   dropped_full_.load()};
+}
+
+bool Link::drained() noexcept {
+  if (fast_path_) return fast_queue_.size_approx() == 0;
+  std::lock_guard lock(mutex_);
+  return timed_queue_.empty();
+}
+
+}  // namespace sfc::net

@@ -1,0 +1,88 @@
+// Simulated unidirectional link between two servers.
+//
+// Substitutes for the paper's 10/40 GbE switch fabric. The default
+// configuration (no delay, no loss) is a lock-free queue — the fast path
+// used by throughput benchmarks. Configuring propagation delay, loss,
+// reordering, or bandwidth switches to a mutex-protected timed queue —
+// the path used by protocol tests (loss -> retransmission, reorder ->
+// dependency-vector holds) and by the WAN recovery experiments.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "packet/packet_pool.hpp"
+#include "runtime/mpmc_queue.hpp"
+#include "runtime/rng.hpp"
+
+namespace sfc::net {
+
+struct LinkConfig {
+  std::uint64_t delay_ns{0};         ///< One-way propagation delay.
+  double loss{0.0};                  ///< Per-packet drop probability.
+  double reorder{0.0};               ///< Probability of delaying one packet
+                                     ///< past its successors.
+  std::uint64_t reorder_extra_ns{20'000};
+  std::size_t capacity{8192};        ///< Queue depth before tail drop.
+  std::uint64_t seed{1};
+};
+
+struct LinkStats {
+  std::uint64_t sent{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped_loss{0};
+  std::uint64_t dropped_full{0};
+};
+
+class Link : rt::NonCopyable {
+ public:
+  /// @param pool Pool that owns packets traversing this link (lost packets
+  ///             are returned to it).
+  Link(pkt::PacketPool& pool, LinkConfig cfg = {});
+
+  /// Sends a packet. Returns false when the queue is full (the packet is
+  /// NOT consumed; the caller owns it and may retry or drop). A packet
+  /// consumed by the loss model still returns true: senders cannot observe
+  /// wire loss.
+  bool send(pkt::Packet* p);
+
+  /// Sends with bounded retry, yielding between attempts. Returns false
+  /// (caller keeps ownership) only if the link stayed full throughout.
+  bool send_blocking(pkt::Packet* p, std::uint64_t timeout_ns = 1'000'000'000);
+
+  /// Receives the next deliverable packet, or nullptr.
+  pkt::Packet* poll();
+
+  LinkStats stats() const noexcept;
+  const LinkConfig& config() const noexcept { return cfg_; }
+
+  /// True when every queued packet has been delivered.
+  bool drained() noexcept;
+
+ private:
+  bool lossy_drop() noexcept;
+
+  struct Timed {
+    pkt::Packet* packet;
+    std::uint64_t deliver_at_ns;
+  };
+
+  pkt::PacketPool& pool_;
+  const LinkConfig cfg_;
+  const bool fast_path_;
+
+  rt::MpmcQueue<pkt::Packet*> fast_queue_;
+
+  std::mutex mutex_;
+  std::deque<Timed> timed_queue_;
+
+  std::atomic<std::uint64_t> loss_counter_{0};
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_loss_{0};
+  std::atomic<std::uint64_t> dropped_full_{0};
+};
+
+}  // namespace sfc::net

@@ -1,0 +1,48 @@
+// Flow identification: the classic 5-tuple plus hashing for RSS and for
+// state-store keys. Addresses/ports are host order inside FlowKey.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/rng.hpp"
+
+namespace sfc::pkt {
+
+struct FlowKey {
+  std::uint32_t src_ip{0};
+  std::uint32_t dst_ip{0};
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint8_t protocol{0};
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  /// Direction-sensitive hash (a->b != b->a), as used by NAT tables.
+  std::uint64_t hash() const noexcept {
+    std::uint64_t h = rt::splitmix64(
+        (static_cast<std::uint64_t>(src_ip) << 32) | dst_ip);
+    h ^= rt::splitmix64((static_cast<std::uint64_t>(src_port) << 24) |
+                        (static_cast<std::uint64_t>(dst_port) << 8) | protocol);
+    return rt::splitmix64(h);
+  }
+
+  /// Reversed flow (the return direction of a connection).
+  FlowKey reversed() const noexcept {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  /// RSS hash: 32-bit, direction-sensitive; used to pick a NIC RX queue.
+  std::uint32_t rss_hash() const noexcept {
+    return static_cast<std::uint32_t>(hash() >> 16);
+  }
+};
+
+}  // namespace sfc::pkt
+
+template <>
+struct std::hash<sfc::pkt::FlowKey> {
+  std::size_t operator()(const sfc::pkt::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

@@ -1,0 +1,41 @@
+#include "packet/headers.hpp"
+
+#include <cstdio>
+
+namespace sfc::pkt {
+
+std::uint16_t internet_checksum(const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t sum = 0;
+  while (len >= 2) {
+    std::uint16_t word;
+    std::memcpy(&word, p, 2);
+    sum += word;
+    p += 2;
+    len -= 2;
+  }
+  if (len == 1) {
+    // Final odd byte is padded with zero on the right (network order).
+    std::uint16_t word = 0;
+    std::memcpy(&word, p, 1);
+    sum += word;
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void update_ipv4_checksum(Ipv4Header& ip) noexcept {
+  ip.checksum_be = 0;
+  ip.checksum_be = internet_checksum(&ip, ip.header_length());
+}
+
+bool verify_ipv4_checksum(const Ipv4Header& ip) noexcept {
+  return internet_checksum(&ip, ip.header_length()) == 0;
+}
+
+void format_ipv4(std::uint32_t addr, char out[16]) noexcept {
+  std::snprintf(out, 16, "%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                (addr >> 8) & 0xff, addr & 0xff);
+}
+
+}  // namespace sfc::pkt

@@ -1,0 +1,126 @@
+// Wire-format protocol headers (Ethernet, IPv4, UDP, TCP).
+//
+// Multi-byte fields are kept in network byte order in the structs, with
+// accessor helpers doing the conversion, so a struct overlaid on packet
+// bytes is exactly the wire format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace sfc::pkt {
+
+inline std::uint16_t hton16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+inline std::uint16_t ntoh16(std::uint16_t v) noexcept { return hton16(v); }
+
+inline std::uint32_t hton32(std::uint32_t v) noexcept {
+  return __builtin_bswap32(v);
+}
+inline std::uint32_t ntoh32(std::uint32_t v) noexcept { return hton32(v); }
+
+#pragma pack(push, 1)
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  static constexpr std::uint16_t kTypeIpv4 = 0x0800;
+
+  std::uint8_t dst[6];
+  std::uint8_t src[6];
+  std::uint16_t ether_type_be;
+
+  std::uint16_t ether_type() const noexcept { return ntoh16(ether_type_be); }
+  void set_ether_type(std::uint16_t t) noexcept { ether_type_be = hton16(t); }
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint8_t kProtoTcp = 6;
+  static constexpr std::uint8_t kProtoUdp = 17;
+
+  std::uint8_t version_ihl;    // 0x45 for a 20-byte header.
+  std::uint8_t dscp_ecn;
+  std::uint16_t total_length_be;
+  std::uint16_t identification_be;
+  std::uint16_t flags_fragment_be;
+  std::uint8_t ttl;
+  std::uint8_t protocol;
+  std::uint16_t checksum_be;
+  std::uint32_t src_be;
+  std::uint32_t dst_be;
+
+  std::size_t header_length() const noexcept {
+    return static_cast<std::size_t>(version_ihl & 0x0f) * 4;
+  }
+  std::uint16_t total_length() const noexcept { return ntoh16(total_length_be); }
+  void set_total_length(std::uint16_t len) noexcept {
+    total_length_be = hton16(len);
+  }
+  std::uint32_t src() const noexcept { return ntoh32(src_be); }
+  std::uint32_t dst() const noexcept { return ntoh32(dst_be); }
+  void set_src(std::uint32_t a) noexcept { src_be = hton32(a); }
+  void set_dst(std::uint32_t a) noexcept { dst_be = hton32(a); }
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port_be;
+  std::uint16_t dst_port_be;
+  std::uint16_t length_be;
+  std::uint16_t checksum_be;
+
+  std::uint16_t src_port() const noexcept { return ntoh16(src_port_be); }
+  std::uint16_t dst_port() const noexcept { return ntoh16(dst_port_be); }
+  void set_src_port(std::uint16_t p) noexcept { src_port_be = hton16(p); }
+  void set_dst_port(std::uint16_t p) noexcept { dst_port_be = hton16(p); }
+  void set_length(std::uint16_t l) noexcept { length_be = hton16(l); }
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+  static constexpr std::uint8_t kFlagFin = 0x01;
+  static constexpr std::uint8_t kFlagSyn = 0x02;
+  static constexpr std::uint8_t kFlagRst = 0x04;
+  static constexpr std::uint8_t kFlagAck = 0x10;
+
+  std::uint16_t src_port_be;
+  std::uint16_t dst_port_be;
+  std::uint32_t seq_be;
+  std::uint32_t ack_be;
+  std::uint8_t data_offset;  // Upper 4 bits: header length in 32-bit words.
+  std::uint8_t flags;
+  std::uint16_t window_be;
+  std::uint16_t checksum_be;
+  std::uint16_t urgent_be;
+
+  std::uint16_t src_port() const noexcept { return ntoh16(src_port_be); }
+  std::uint16_t dst_port() const noexcept { return ntoh16(dst_port_be); }
+  void set_src_port(std::uint16_t p) noexcept { src_port_be = hton16(p); }
+  void set_dst_port(std::uint16_t p) noexcept { dst_port_be = hton16(p); }
+  std::size_t header_length() const noexcept {
+    return static_cast<std::size_t>(data_offset >> 4) * 4;
+  }
+};
+
+#pragma pack(pop)
+
+static_assert(sizeof(EthernetHeader) == EthernetHeader::kSize);
+static_assert(sizeof(Ipv4Header) == Ipv4Header::kSize);
+static_assert(sizeof(UdpHeader) == UdpHeader::kSize);
+static_assert(sizeof(TcpHeader) == TcpHeader::kSize);
+
+/// RFC 1071 Internet checksum over @p len bytes.
+std::uint16_t internet_checksum(const void* data, std::size_t len) noexcept;
+
+/// Recomputes and stores the IPv4 header checksum.
+void update_ipv4_checksum(Ipv4Header& ip) noexcept;
+
+/// Validates the stored IPv4 header checksum.
+bool verify_ipv4_checksum(const Ipv4Header& ip) noexcept;
+
+/// Formats a.b.c.d from a host-order IPv4 address (debug/logging).
+void format_ipv4(std::uint32_t addr, char out[16]) noexcept;
+
+}  // namespace sfc::pkt

@@ -1,0 +1,132 @@
+// Packet buffer abstraction (Click Packet / DPDK mbuf stand-in).
+//
+// A Packet is a fixed-capacity buffer with
+//   * headroom  — so encapsulation can prepend headers without copying,
+//   * a data region — the wire bytes,
+//   * tailroom  — where FTC appends the piggyback message in place,
+//   * annotations — metadata that travels with the packet inside one
+//     simulated server (timestamps, flow hash, parsed header offsets).
+//
+// Packets are pool-allocated and move between threads by raw ownership
+// transfer through lock-free queues; PacketPtr restores RAII at the edges.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+
+#include "runtime/common.hpp"
+
+namespace sfc::pkt {
+
+class PacketPool;
+
+/// Per-packet metadata. Never serialized; local to one simulated server —
+/// but we do preserve it across simulated links (it models NIC-to-NIC
+/// metadata like timestamps that the evaluation harness needs end-to-end).
+struct Annotations {
+  std::uint64_t ingress_ns{0};   ///< Generator timestamp for latency.
+  std::uint64_t packet_id{0};    ///< Unique id assigned by the generator.
+  std::uint32_t flow_hash{0};    ///< RSS hash over the 5-tuple.
+  std::uint16_t l3_offset{0};    ///< Offset of the IPv4 header.
+  std::uint16_t l4_offset{0};    ///< Offset of the TCP/UDP header.
+  std::uint16_t payload_offset{0};
+  std::uint32_t aux{0};          ///< Runtime scratch (e.g. FTMB PAL count).
+  bool is_control{false};        ///< Propagating/recovery packet, not user data.
+};
+
+class Packet {
+ public:
+  static constexpr std::size_t kCapacity = 4096;
+  static constexpr std::size_t kDefaultHeadroom = 128;
+
+  Packet() noexcept { reset(); }
+
+  /// Restores a pristine packet (pool reuse path).
+  void reset() noexcept {
+    data_off_ = kDefaultHeadroom;
+    data_len_ = 0;
+    anno_ = Annotations{};
+  }
+
+  std::uint8_t* data() noexcept { return buf_ + data_off_; }
+  const std::uint8_t* data() const noexcept { return buf_ + data_off_; }
+  std::size_t size() const noexcept { return data_len_; }
+  bool empty() const noexcept { return data_len_ == 0; }
+
+  std::span<std::uint8_t> bytes() noexcept { return {data(), data_len_}; }
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data(), data_len_};
+  }
+
+  std::size_t headroom() const noexcept { return data_off_; }
+  std::size_t tailroom() const noexcept {
+    return kCapacity - data_off_ - data_len_;
+  }
+
+  /// Prepends @p n bytes (returns pointer to the new front). Caller must
+  /// check headroom() first; this is the encap fast path.
+  std::uint8_t* push_front(std::size_t n) noexcept {
+    data_off_ -= static_cast<std::uint32_t>(n);
+    data_len_ += static_cast<std::uint32_t>(n);
+    return data();
+  }
+
+  /// Drops @p n bytes from the front (decap).
+  void pull_front(std::size_t n) noexcept {
+    data_off_ += static_cast<std::uint32_t>(n);
+    data_len_ -= static_cast<std::uint32_t>(n);
+  }
+
+  /// Extends the data region by @p n bytes at the tail and returns a
+  /// pointer to the first appended byte. Caller must check tailroom().
+  std::uint8_t* push_back(std::size_t n) noexcept {
+    std::uint8_t* p = buf_ + data_off_ + data_len_;
+    data_len_ += static_cast<std::uint32_t>(n);
+    return p;
+  }
+
+  /// Truncates @p n bytes from the tail.
+  void trim_back(std::size_t n) noexcept {
+    data_len_ -= static_cast<std::uint32_t>(n);
+  }
+
+  /// Sets the payload to a copy of @p bytes (resets offsets first).
+  void assign(std::span<const std::uint8_t> bytes) noexcept {
+    data_off_ = kDefaultHeadroom;
+    data_len_ = static_cast<std::uint32_t>(bytes.size());
+    std::memcpy(data(), bytes.data(), bytes.size());
+  }
+
+  Annotations& anno() noexcept { return anno_; }
+  const Annotations& anno() const noexcept { return anno_; }
+
+  /// Deep copy into @p dst (used by FTMB's output logger and by link
+  /// models that duplicate packets).
+  void clone_into(Packet& dst) const noexcept {
+    dst.data_off_ = data_off_;
+    dst.data_len_ = data_len_;
+    std::memcpy(dst.buf_ + data_off_, buf_ + data_off_, data_len_);
+    dst.anno_ = anno_;
+  }
+
+ private:
+  friend class PacketPool;
+
+  std::uint32_t data_off_{kDefaultHeadroom};
+  std::uint32_t data_len_{0};
+  PacketPool* owner_{nullptr};  ///< Pool this packet belongs to.
+  Annotations anno_{};
+  alignas(8) std::uint8_t buf_[kCapacity];
+};
+
+/// Deleter that returns the packet to its pool.
+struct PacketDeleter {
+  PacketPool* pool{nullptr};
+  void operator()(Packet* p) const noexcept;
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+}  // namespace sfc::pkt

@@ -1,0 +1,123 @@
+#include "packet/packet_io.hpp"
+
+#include <cstring>
+
+namespace sfc::pkt {
+
+std::optional<ParsedPacket> parse_packet(Packet& p, std::size_t wire_len) {
+  const std::size_t len = wire_len != 0 ? wire_len : p.size();
+  if (len > p.size()) return std::nullopt;
+  if (len < EthernetHeader::kSize + Ipv4Header::kSize) return std::nullopt;
+
+  ParsedPacket out;
+  out.eth = reinterpret_cast<EthernetHeader*>(p.data());
+  if (out.eth->ether_type() != EthernetHeader::kTypeIpv4) return std::nullopt;
+
+  const std::size_t l3_off = EthernetHeader::kSize;
+  out.ip = reinterpret_cast<Ipv4Header*>(p.data() + l3_off);
+  if ((out.ip->version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = out.ip->header_length();
+  if (ihl < Ipv4Header::kSize || l3_off + ihl > len) return std::nullopt;
+  if (l3_off + out.ip->total_length() > len) return std::nullopt;
+
+  const std::size_t l4_off = l3_off + ihl;
+  out.flow.src_ip = out.ip->src();
+  out.flow.dst_ip = out.ip->dst();
+  out.flow.protocol = out.ip->protocol;
+
+  std::size_t payload_off = l4_off;
+  if (out.ip->protocol == Ipv4Header::kProtoUdp) {
+    if (l4_off + UdpHeader::kSize > len) return std::nullopt;
+    out.udp = reinterpret_cast<UdpHeader*>(p.data() + l4_off);
+    out.flow.src_port = out.udp->src_port();
+    out.flow.dst_port = out.udp->dst_port();
+    payload_off = l4_off + UdpHeader::kSize;
+  } else if (out.ip->protocol == Ipv4Header::kProtoTcp) {
+    if (l4_off + TcpHeader::kSize > len) return std::nullopt;
+    out.tcp = reinterpret_cast<TcpHeader*>(p.data() + l4_off);
+    const std::size_t tcp_len = out.tcp->header_length();
+    if (tcp_len < TcpHeader::kSize || l4_off + tcp_len > len) {
+      return std::nullopt;
+    }
+    out.flow.src_port = out.tcp->src_port();
+    out.flow.dst_port = out.tcp->dst_port();
+    payload_off = l4_off + tcp_len;
+  } else {
+    return std::nullopt;
+  }
+
+  const std::size_t ip_end = l3_off + out.ip->total_length();
+  out.payload = p.data() + payload_off;
+  out.payload_len = ip_end > payload_off ? ip_end - payload_off : 0;
+
+  auto& anno = p.anno();
+  anno.l3_offset = static_cast<std::uint16_t>(l3_off);
+  anno.l4_offset = static_cast<std::uint16_t>(l4_off);
+  anno.payload_offset = static_cast<std::uint16_t>(payload_off);
+  anno.flow_hash = out.flow.rss_hash();
+  return out;
+}
+
+void PacketBuilder::build_l2_l3(const FlowKey& flow, std::size_t frame_len,
+                                std::uint8_t protocol, std::size_t l4_size) {
+  packet_.reset();
+  auto* base = packet_.push_back(frame_len);
+  std::memset(base, 0, frame_len);
+
+  auto* eth = reinterpret_cast<EthernetHeader*>(base);
+  // Deterministic locally-administered MACs derived from the addresses.
+  eth->src[0] = eth->dst[0] = 0x02;
+  std::memcpy(eth->src + 2, &flow.src_ip, 4);
+  std::memcpy(eth->dst + 2, &flow.dst_ip, 4);
+  eth->set_ether_type(EthernetHeader::kTypeIpv4);
+
+  auto* ip = reinterpret_cast<Ipv4Header*>(base + EthernetHeader::kSize);
+  ip->version_ihl = 0x45;
+  ip->set_total_length(
+      static_cast<std::uint16_t>(frame_len - EthernetHeader::kSize));
+  ip->ttl = 64;
+  ip->protocol = protocol;
+  ip->set_src(flow.src_ip);
+  ip->set_dst(flow.dst_ip);
+  update_ipv4_checksum(*ip);
+  (void)l4_size;
+}
+
+PacketBuilder& PacketBuilder::udp(const FlowKey& flow, std::size_t frame_len) {
+  build_l2_l3(flow, frame_len, Ipv4Header::kProtoUdp, UdpHeader::kSize);
+  auto* u = reinterpret_cast<UdpHeader*>(packet_.data() + EthernetHeader::kSize +
+                                         Ipv4Header::kSize);
+  u->set_src_port(flow.src_port);
+  u->set_dst_port(flow.dst_port);
+  u->set_length(static_cast<std::uint16_t>(
+      frame_len - EthernetHeader::kSize - Ipv4Header::kSize));
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::tcp(const FlowKey& flow, std::size_t frame_len,
+                                  std::uint8_t tcp_flags) {
+  build_l2_l3(flow, frame_len, Ipv4Header::kProtoTcp, TcpHeader::kSize);
+  auto* t = reinterpret_cast<TcpHeader*>(packet_.data() + EthernetHeader::kSize +
+                                         Ipv4Header::kSize);
+  t->set_src_port(flow.src_port);
+  t->set_dst_port(flow.dst_port);
+  t->data_offset = 5 << 4;
+  t->flags = tcp_flags;
+  return *this;
+}
+
+void rewrite_flow(ParsedPacket& pp, const FlowKey& new_flow) {
+  pp.ip->set_src(new_flow.src_ip);
+  pp.ip->set_dst(new_flow.dst_ip);
+  if (pp.udp != nullptr) {
+    pp.udp->set_src_port(new_flow.src_port);
+    pp.udp->set_dst_port(new_flow.dst_port);
+  } else if (pp.tcp != nullptr) {
+    pp.tcp->set_src_port(new_flow.src_port);
+    pp.tcp->set_dst_port(new_flow.dst_port);
+  }
+  update_ipv4_checksum(*pp.ip);
+  pp.flow = new_flow;
+}
+
+}  // namespace sfc::pkt

@@ -1,0 +1,63 @@
+// Building and parsing packets.
+//
+// PacketBuilder fabricates well-formed Ethernet/IPv4/{UDP,TCP} frames for
+// the traffic generator; parse_packet() recovers header offsets and the
+// flow key — what a real middlebox would do after NIC RX.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "packet/flow.hpp"
+#include "packet/headers.hpp"
+#include "packet/packet.hpp"
+
+namespace sfc::pkt {
+
+/// Result of parsing a packet's protocol stack.
+struct ParsedPacket {
+  EthernetHeader* eth{nullptr};
+  Ipv4Header* ip{nullptr};
+  UdpHeader* udp{nullptr};  // Exactly one of udp/tcp set for L4 packets.
+  TcpHeader* tcp{nullptr};
+  FlowKey flow{};
+  std::uint8_t* payload{nullptr};
+  std::size_t payload_len{0};
+};
+
+/// Parses Ethernet/IPv4/{UDP,TCP}. Fills the packet's annotations
+/// (l3/l4/payload offsets, flow hash) on success. Returns std::nullopt on
+/// malformed, truncated, or non-IPv4 input.
+///
+/// @param wire_len If nonzero, parse only the first @p wire_len bytes of
+///        the packet (FTC uses this to hide the appended piggyback
+///        message from the middlebox).
+std::optional<ParsedPacket> parse_packet(Packet& p, std::size_t wire_len = 0);
+
+/// Fabricates frames for the generator and for protocol-internal packets.
+class PacketBuilder {
+ public:
+  explicit PacketBuilder(Packet& p) : packet_(p) {}
+
+  /// Builds a UDP packet of exactly @p frame_len bytes (Ethernet frame
+  /// length, >= 42). Payload bytes are zeroed. Computes IPv4 checksum.
+  PacketBuilder& udp(const FlowKey& flow, std::size_t frame_len);
+
+  /// Builds a TCP packet of exactly @p frame_len bytes (>= 54).
+  PacketBuilder& tcp(const FlowKey& flow, std::size_t frame_len,
+                     std::uint8_t tcp_flags = TcpHeader::kFlagAck);
+
+  Packet& done() { return packet_; }
+
+ private:
+  void build_l2_l3(const FlowKey& flow, std::size_t frame_len,
+                   std::uint8_t protocol, std::size_t l4_size);
+
+  Packet& packet_;
+};
+
+/// Rewrites the flow key fields of an already-parsed packet in place and
+/// refreshes the IPv4 checksum (the NAT fast path).
+void rewrite_flow(ParsedPacket& pp, const FlowKey& new_flow);
+
+}  // namespace sfc::pkt

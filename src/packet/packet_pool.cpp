@@ -1,0 +1,47 @@
+#include "packet/packet_pool.hpp"
+
+#include "runtime/common.hpp"
+
+namespace sfc::pkt {
+
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  if (p != nullptr && pool != nullptr) pool->free_raw(p);
+}
+
+PacketPool::PacketPool(std::size_t capacity)
+    : capacity_(capacity),
+      slab_(std::make_unique<Packet[]>(capacity)),
+      free_list_(capacity) {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slab_[i].owner_ = this;
+    free_list_.try_push(&slab_[i]);
+  }
+}
+
+PacketPool::~PacketPool() = default;
+
+Packet* PacketPool::alloc_raw() noexcept {
+  auto p = free_list_.try_pop();
+  if (!p) return nullptr;
+  (*p)->reset();
+  return *p;
+}
+
+void PacketPool::free_raw(Packet* p) noexcept {
+  if (p == nullptr) return;
+  if (p->owner_ != this && p->owner_ != nullptr) {
+    p->owner_->free_raw(p);
+    return;
+  }
+  // The lock-free queue can transiently report "full" while a concurrent
+  // alloc is mid-pop (its slot sequence not yet republished). The pool can
+  // never be truly over capacity, so spin until the push lands — dropping
+  // would leak the packet forever.
+  while (!free_list_.try_push(std::move(p))) rt::cpu_relax();
+}
+
+bool PacketPool::owns(const Packet* p) const noexcept {
+  return p >= slab_.get() && p < slab_.get() + capacity_;
+}
+
+}  // namespace sfc::pkt

@@ -1,0 +1,54 @@
+// Slab packet pool with a lock-free free list.
+//
+// All packets for one experiment come from a single pool so allocation is
+// a queue pop on the fast path and exhaustion is back-pressure (the
+// generator simply cannot inject faster than the chain drains), mirroring
+// how a DPDK mempool behaves.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "runtime/mpmc_queue.hpp"
+
+namespace sfc::pkt {
+
+class PacketPool : rt::NonCopyable {
+ public:
+  explicit PacketPool(std::size_t capacity);
+  ~PacketPool();
+
+  /// Pops a packet; returns nullptr when the pool is exhausted.
+  Packet* alloc_raw() noexcept;
+
+  /// RAII variant of alloc_raw().
+  PacketPtr alloc() noexcept {
+    return PacketPtr{alloc_raw(), PacketDeleter{this}};
+  }
+
+  /// Returns @p p to its owning pool (packet is reset for reuse). Safe to
+  /// call on any pool object: packets are routed to the pool that
+  /// allocated them, so components handling packets from several pools
+  /// (e.g. data + protocol-internal) free through whichever handle they
+  /// hold.
+  void free_raw(Packet* p) noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Approximate number of packets currently available.
+  std::size_t available_approx() const noexcept {
+    return free_list_.size_approx();
+  }
+
+  /// True if @p p was allocated from this pool (debug aid).
+  bool owns(const Packet* p) const noexcept;
+
+ private:
+  const std::size_t capacity_;
+  std::unique_ptr<Packet[]> slab_;
+  rt::MpmcQueue<Packet*> free_list_;
+};
+
+}  // namespace sfc::pkt

@@ -1,0 +1,74 @@
+#include "packet/pcap.hpp"
+
+#include "runtime/clock.hpp"
+
+namespace sfc::pkt {
+
+namespace {
+
+#pragma pack(push, 1)
+struct PcapGlobalHeader {
+  std::uint32_t magic{0xa1b2c3d4};  // Microsecond timestamps.
+  std::uint16_t version_major{2};
+  std::uint16_t version_minor{4};
+  std::int32_t thiszone{0};
+  std::uint32_t sigfigs{0};
+  std::uint32_t snaplen{65535};
+  std::uint32_t network{1};  // LINKTYPE_ETHERNET.
+};
+
+struct PcapRecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_usec;
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+#pragma pack(pop)
+
+}  // namespace
+
+bool PcapWriter::open(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) return false;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return false;
+  const PcapGlobalHeader header{};
+  if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  return true;
+}
+
+bool PcapWriter::write(const Packet& packet, std::uint64_t timestamp_ns) {
+  std::lock_guard lock(mutex_);
+  if (file_ == nullptr) return false;
+  if (timestamp_ns == 0) {
+    timestamp_ns =
+        packet.anno().ingress_ns != 0 ? packet.anno().ingress_ns : rt::now_ns();
+  }
+  PcapRecordHeader rec;
+  rec.ts_sec = static_cast<std::uint32_t>(timestamp_ns / 1'000'000'000ull);
+  rec.ts_usec =
+      static_cast<std::uint32_t>(timestamp_ns % 1'000'000'000ull / 1000);
+  rec.incl_len = static_cast<std::uint32_t>(packet.size());
+  rec.orig_len = rec.incl_len;
+  if (std::fwrite(&rec, sizeof(rec), 1, file_) != 1) return false;
+  if (packet.size() != 0 &&
+      std::fwrite(packet.data(), packet.size(), 1, file_) != 1) {
+    return false;
+  }
+  ++written_;
+  return true;
+}
+
+void PcapWriter::close() {
+  std::lock_guard lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace sfc::pkt

@@ -1,0 +1,41 @@
+// Minimal pcap writer (classic libpcap format, LINKTYPE_ETHERNET).
+//
+// Debugging aid: tap any simulated link or chain boundary and inspect the
+// traffic — including FTC's piggyback trailers — in Wireshark/tcpdump.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "packet/packet.hpp"
+#include "runtime/common.hpp"
+
+namespace sfc::pkt {
+
+class PcapWriter : rt::NonCopyable {
+ public:
+  PcapWriter() = default;
+  ~PcapWriter() { close(); }
+
+  /// Opens @p path and writes the global header. Returns false on I/O
+  /// error (the writer stays closed; write() becomes a no-op).
+  bool open(const std::string& path);
+
+  /// Appends one packet record (thread-safe). @p timestamp_ns defaults to
+  /// the packet's ingress annotation.
+  bool write(const Packet& packet, std::uint64_t timestamp_ns = 0);
+
+  void close();
+
+  bool is_open() const noexcept { return file_ != nullptr; }
+  std::uint64_t packets_written() const noexcept { return written_; }
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_{nullptr};
+  std::uint64_t written_{0};
+};
+
+}  // namespace sfc::pkt

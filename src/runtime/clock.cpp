@@ -1,0 +1,37 @@
+#include "runtime/clock.hpp"
+
+#include <thread>
+
+#include "runtime/common.hpp"
+
+namespace sfc::rt {
+
+namespace {
+
+double measure_tsc_hz() {
+  const auto t0_ns = now_ns();
+  const auto c0 = rdtsc();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto t1_ns = now_ns();
+  const auto c1 = rdtsc();
+  const double dt = static_cast<double>(t1_ns - t0_ns);
+  if (dt <= 0) return 1e9;  // Degenerate clock; pretend 1 cycle == 1 ns.
+  return static_cast<double>(c1 - c0) / dt * 1e9;
+}
+
+}  // namespace
+
+double tsc_hz() {
+  static const double hz = measure_tsc_hz();
+  return hz;
+}
+
+double tsc_to_ns(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / tsc_hz() * 1e9;
+}
+
+void spin_until_ns(std::uint64_t deadline_ns) noexcept {
+  while (now_ns() < deadline_ns) cpu_relax();
+}
+
+}  // namespace sfc::rt

@@ -1,0 +1,65 @@
+// Time sources.
+//
+// The data plane needs two clocks:
+//  * a cheap cycle counter (rdtsc) for the Table-2 style CPU breakdowns,
+//  * a steady nanosecond clock for latency samples and rate control.
+//
+// Both are wrapped so tests can reason about them and so non-x86 builds
+// fall back to the steady clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sfc::rt {
+
+/// Nanoseconds since an arbitrary steady epoch.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline double now_sec() noexcept { return static_cast<double>(now_ns()) * 1e-9; }
+
+/// Raw CPU timestamp counter. Monotonic per-core on all modern x86; good
+/// enough for short (< 1 ms) deltas measured on one thread.
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return now_ns();
+#endif
+}
+
+/// Measures the TSC frequency against the steady clock. Cached after the
+/// first call; costs ~10 ms once.
+double tsc_hz();
+
+/// Converts a TSC delta to nanoseconds using the calibrated frequency.
+double tsc_to_ns(std::uint64_t cycles);
+
+/// Busy-waits (with cpu_relax) until `now_ns() >= deadline_ns`. Used by the
+/// traffic generator for precise inter-packet gaps; sleeping would quantize
+/// to the scheduler tick.
+void spin_until_ns(std::uint64_t deadline_ns) noexcept;
+
+/// Scoped cycle counter: accumulates rdtsc deltas into a target.
+class CycleTimer {
+ public:
+  explicit CycleTimer(std::uint64_t& sink) noexcept
+      : sink_(sink), start_(rdtsc()) {}
+  ~CycleTimer() { sink_ += rdtsc() - start_; }
+
+  CycleTimer(const CycleTimer&) = delete;
+  CycleTimer& operator=(const CycleTimer&) = delete;
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_;
+};
+
+}  // namespace sfc::rt

@@ -1,0 +1,61 @@
+// Common small utilities shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace sfc::rt {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SFC_LIKELY(x) __builtin_expect(!!(x), 1)
+#define SFC_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define SFC_LIKELY(x) (x)
+#define SFC_UNLIKELY(x) (x)
+#endif
+
+// Size of a destructive-interference-free region. We hardcode 64 rather
+// than use std::hardware_destructive_interference_size because the latter
+// is an ABI hazard (varies with -mtune) and 64 is correct on x86-64/ARM64.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Rounds @p v up to the next power of two (returns 1 for 0).
+constexpr std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// CPU relax hint for spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Non-copyable mixin.
+class NonCopyable {
+ public:
+  NonCopyable(const NonCopyable&) = delete;
+  NonCopyable& operator=(const NonCopyable&) = delete;
+
+ protected:
+  NonCopyable() = default;
+  ~NonCopyable() = default;
+};
+
+}  // namespace sfc::rt

@@ -1,0 +1,52 @@
+#include "runtime/logging.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "runtime/clock.hpp"
+
+namespace sfc::rt {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogSink> g_sink{nullptr};
+std::mutex g_write_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_log_sink(LogSink sink) noexcept { g_sink.store(sink); }
+
+namespace detail {
+
+void emit(LogLevel level, std::string_view component, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (auto* sink = g_sink.load()) {
+    std::string line;
+    line.reserve(component.size() + msg.size() + 2);
+    line.append(component).append(": ").append(msg);
+    sink(level, line);
+    return;
+  }
+  std::lock_guard lock(g_write_mutex);
+  std::fprintf(stderr, "[%12.6f] %s %.*s: %.*s\n", now_sec(), level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+
+}  // namespace sfc::rt

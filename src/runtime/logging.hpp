@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// The data plane never logs on the fast path; this is for control-plane
+// events (deployments, failures, recovery steps) and test diagnostics.
+// Thread-safe: each message is formatted into a local buffer and written
+// with a single locked append.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sfc::rt {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded cheaply.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Sinks the formatted line. Exposed so tests can capture output.
+using LogSink = void (*)(LogLevel, std::string_view line);
+void set_log_sink(LogSink sink) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view component, std::string_view msg);
+}
+
+/// Streaming log statement builder: LOG(kInfo, "orch") << "recovered";
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStatement() { detail::emit(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+
+#define SFC_LOG(level, component)                              \
+  if (static_cast<int>(level) < static_cast<int>(::sfc::rt::log_level())) { \
+  } else                                                       \
+    ::sfc::rt::LogStatement(level, component)
+
+#define SFC_LOG_INFO(component) SFC_LOG(::sfc::rt::LogLevel::kInfo, component)
+#define SFC_LOG_WARN(component) SFC_LOG(::sfc::rt::LogLevel::kWarn, component)
+#define SFC_LOG_ERROR(component) SFC_LOG(::sfc::rt::LogLevel::kError, component)
+#define SFC_LOG_DEBUG(component) SFC_LOG(::sfc::rt::LogLevel::kDebug, component)
+
+}  // namespace sfc::rt

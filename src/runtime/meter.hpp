@@ -1,0 +1,81 @@
+// Throughput meter.
+//
+// Counts packets/bytes with relaxed atomics (safe for concurrent writers)
+// and reports interval rates the way the paper does: the reported value is
+// the average of per-second maximum throughput samples over the run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/clock.hpp"
+#include "runtime/common.hpp"
+
+namespace sfc::rt {
+
+class Meter {
+ public:
+  void add(std::uint64_t packets, std::uint64_t bytes) noexcept {
+    packets_.fetch_add(packets, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t packets() const noexcept {
+    return packets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    packets_.store(0);
+    bytes_.store(0);
+  }
+
+ private:
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> packets_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Samples a Meter over a run and computes rates.
+class MeterSampler {
+ public:
+  explicit MeterSampler(const Meter& meter) : meter_(meter) { start(); }
+
+  void start() noexcept {
+    start_ns_ = now_ns();
+    start_packets_ = meter_.packets();
+    start_bytes_ = meter_.bytes();
+  }
+
+  double elapsed_sec() const noexcept {
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+  }
+
+  double pps() const noexcept {
+    const double dt = elapsed_sec();
+    return dt > 0 ? static_cast<double>(meter_.packets() - start_packets_) / dt
+                  : 0.0;
+  }
+
+  double mpps() const noexcept { return pps() * 1e-6; }
+
+  double gbps(std::size_t per_packet_overhead_bytes = 0) const noexcept {
+    const double dt = elapsed_sec();
+    if (dt <= 0) return 0.0;
+    const double bytes =
+        static_cast<double>(meter_.bytes() - start_bytes_) +
+        static_cast<double>(per_packet_overhead_bytes) *
+            static_cast<double>(meter_.packets() - start_packets_);
+    return bytes * 8.0 / dt * 1e-9;
+  }
+
+ private:
+  const Meter& meter_;
+  std::uint64_t start_ns_{0};
+  std::uint64_t start_packets_{0};
+  std::uint64_t start_bytes_{0};
+};
+
+}  // namespace sfc::rt

@@ -1,0 +1,102 @@
+// Bounded lock-free multi-producer/multi-consumer queue (Vyukov style).
+//
+// Used where multiple middlebox threads feed a single link endpoint or a
+// control-plane mailbox: each slot carries a sequence number that encodes
+// whether it is ready for a producer or a consumer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "runtime/common.hpp"
+
+namespace sfc::rt {
+
+template <typename T>
+class MpmcQueue : NonCopyable {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : mask_(next_pow2(capacity) - 1),
+        slots_(std::make_unique<Slot[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool try_push(T&& value) noexcept {
+    Slot* slot;
+    auto pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const auto seq = slot->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // Full.
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_push(const T& value) noexcept {
+    T copy = value;
+    return try_push(std::move(copy));
+  }
+
+  std::optional<T> try_pop() noexcept {
+    Slot* slot;
+    auto pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const auto seq = slot->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // Empty.
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out{std::move(slot->value)};
+    slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  std::size_t size_approx() const noexcept {
+    const auto head = head_.load(std::memory_order_acquire);
+    const auto tail = tail_.load(std::memory_order_acquire);
+    return head > tail ? head - tail : 0;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(kCacheLineSize) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace sfc::rt

@@ -1,0 +1,46 @@
+// Packet-rate limiter for the traffic generator.
+//
+// Deadline-based pacing: each send advances a virtual deadline by the
+// inter-packet gap and spins until the wall clock catches up, which keeps
+// long-run rate exact even when individual sends jitter.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/clock.hpp"
+
+namespace sfc::rt {
+
+class RateLimiter {
+ public:
+  /// @param rate_pps Target packets per second. 0 means unlimited.
+  explicit RateLimiter(double rate_pps = 0.0) { set_rate(rate_pps); }
+
+  void set_rate(double rate_pps) noexcept {
+    gap_ns_ = rate_pps > 0.0 ? 1e9 / rate_pps : 0.0;
+    next_deadline_ns_ = 0.0;
+  }
+
+  double rate_pps() const noexcept { return gap_ns_ > 0 ? 1e9 / gap_ns_ : 0.0; }
+
+  /// Blocks (spins) until the next packet may be sent.
+  void wait() noexcept {
+    if (gap_ns_ <= 0.0) return;
+    const auto now = static_cast<double>(now_ns());
+    if (next_deadline_ns_ == 0.0) next_deadline_ns_ = now;
+    if (next_deadline_ns_ > now) {
+      spin_until_ns(static_cast<std::uint64_t>(next_deadline_ns_));
+    } else if (now - next_deadline_ns_ > 1e6) {
+      // More than 1 ms behind: resynchronize instead of bursting to catch
+      // up, otherwise a long stall would be followed by a huge burst.
+      next_deadline_ns_ = now;
+    }
+    next_deadline_ns_ += gap_ns_;
+  }
+
+ private:
+  double gap_ns_{0.0};
+  double next_deadline_ns_{0.0};
+};
+
+}  // namespace sfc::rt

@@ -1,0 +1,84 @@
+// Small fast deterministic RNGs for workload generation and link models.
+//
+// PCG32 (O'Neill) gives excellent statistical quality at a few cycles per
+// draw; every simulated component owns its own stream so experiments are
+// reproducible regardless of thread interleaving.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sfc::rt {
+
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() noexcept { seed(0x853c49e6748fea9bULL, 0xda3e39cb94b95bdbULL); }
+  constexpr explicit Pcg32(std::uint64_t init_state,
+                           std::uint64_t init_seq = 1) noexcept {
+    seed(init_state, init_seq);
+  }
+
+  constexpr void seed(std::uint64_t init_state, std::uint64_t init_seq) noexcept {
+    state_ = 0;
+    inc_ = (init_seq << 1u) | 1u;
+    next();
+    state_ += init_state;
+    next();
+  }
+
+  constexpr std::uint32_t next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  constexpr std::uint32_t operator()() noexcept { return next(); }
+
+  /// Unbiased draw in [0, bound) via Lemire's multiply-shift rejection.
+  constexpr std::uint32_t bounded(std::uint32_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+      const std::uint32_t threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(next()) * bound;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  constexpr std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double uniform() noexcept {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_{0};
+  std::uint64_t inc_{0};
+};
+
+/// SplitMix64: used to derive well-distributed seeds from small integers.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace sfc::rt

@@ -1,0 +1,40 @@
+#include "runtime/worker.hpp"
+
+#include <utility>
+
+namespace sfc::rt {
+
+void poll_loop(const std::atomic<bool>& stop, const std::function<bool()>& body) {
+  unsigned idle_spins = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    if (body()) {
+      idle_spins = 0;
+      continue;
+    }
+    // Idle backoff: spin briefly to stay hot for bursty traffic, then
+    // yield so an oversubscribed simulation still makes progress.
+    if (++idle_spins < 64) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+      if (idle_spins > 4096) idle_spins = 64;  // Avoid counter overflow.
+    }
+  }
+}
+
+void Worker::start(std::string name, std::function<bool()> body) {
+  stop();
+  name_ = std::move(name);
+  stop_flag_.store(false);
+  thread_ = std::thread([this, body = std::move(body)]() {
+    poll_loop(stop_flag_, body);
+  });
+}
+
+void Worker::stop() {
+  if (!thread_.joinable()) return;
+  stop_flag_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+}  // namespace sfc::rt

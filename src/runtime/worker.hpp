@@ -1,0 +1,46 @@
+// Worker thread wrapper.
+//
+// Every simulated server component (middlebox thread, link pump, failure
+// detector) is a Worker: a named thread running a poll loop until asked to
+// stop. The loop body returns whether it made progress so the worker can
+// back off (cpu_relax -> yield) when idle instead of burning a core.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "runtime/common.hpp"
+
+namespace sfc::rt {
+
+class Worker : NonCopyable {
+ public:
+  /// @param body Called repeatedly; returns true if it did useful work.
+  ///             A false return lets the worker back off briefly.
+  Worker() = default;
+  Worker(std::string name, std::function<bool()> body) { start(std::move(name), std::move(body)); }
+  ~Worker() { stop(); }
+
+  Worker(Worker&&) = delete;
+  Worker& operator=(Worker&&) = delete;
+
+  void start(std::string name, std::function<bool()> body);
+
+  /// Requests the loop to exit and joins the thread. Idempotent.
+  void stop();
+
+  bool running() const noexcept { return thread_.joinable(); }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<bool> stop_flag_{false};
+  std::thread thread_;
+};
+
+/// Runs @p body in a loop with idle backoff until @p stop becomes true.
+void poll_loop(const std::atomic<bool>& stop, const std::function<bool()>& body);
+
+}  // namespace sfc::rt

@@ -1,0 +1,112 @@
+// Small-buffer byte string for state values.
+//
+// Middlebox state values are small (a NAT record is ~32 B, a counter 8 B;
+// the paper's Gen middlebox tests up to 256 B), so values up to 64 bytes
+// live inline and never touch the allocator on the per-packet path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <utility>
+
+namespace sfc::state {
+
+class Bytes {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  Bytes() noexcept = default;
+
+  Bytes(std::span<const std::uint8_t> data) { assign(data); }
+  Bytes(const void* data, std::size_t len) {
+    assign({static_cast<const std::uint8_t*>(data), len});
+  }
+
+  Bytes(const Bytes& other) { assign(other.span()); }
+  Bytes& operator=(const Bytes& other) {
+    if (this != &other) assign(other.span());
+    return *this;
+  }
+
+  Bytes(Bytes&& other) noexcept { move_from(std::move(other)); }
+  Bytes& operator=(Bytes&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~Bytes() { release(); }
+
+  void assign(std::span<const std::uint8_t> data) {
+    reserve(data.size());
+    std::memcpy(mutable_data(), data.data(), data.size());
+    size_ = static_cast<std::uint32_t>(data.size());
+  }
+
+  /// Typed store of a trivially-copyable value.
+  template <typename T>
+  static Bytes of(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return Bytes(&value, sizeof(T));
+  }
+
+  /// Typed load; returns default-constructed T when sizes mismatch.
+  template <typename T>
+  T as() const noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out{};
+    if (size_ == sizeof(T)) std::memcpy(&out, data(), sizeof(T));
+    return out;
+  }
+
+  const std::uint8_t* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+  std::uint8_t* mutable_data() noexcept {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::span<const std::uint8_t> span() const noexcept { return {data(), size_}; }
+
+  friend bool operator==(const Bytes& a, const Bytes& b) noexcept {
+    return a.size_ == b.size_ && std::memcmp(a.data(), b.data(), a.size_) == 0;
+  }
+
+ private:
+  void reserve(std::size_t n) {
+    if (n <= kInlineCapacity) {
+      release();
+      return;
+    }
+    if (heap_ != nullptr && capacity_ >= n) return;
+    release();
+    heap_ = new std::uint8_t[n];
+    capacity_ = static_cast<std::uint32_t>(n);
+  }
+
+  void release() noexcept {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = 0;
+  }
+
+  void move_from(Bytes&& other) noexcept {
+    heap_ = std::exchange(other.heap_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    size_ = std::exchange(other.size_, 0);
+    if (heap_ == nullptr && size_ > 0) {
+      std::memcpy(inline_, other.inline_, size_);
+    }
+  }
+
+  std::uint8_t inline_[kInlineCapacity];
+  std::uint8_t* heap_{nullptr};
+  std::uint32_t capacity_{0};
+  std::uint32_t size_{0};
+};
+
+}  // namespace sfc::state

@@ -1,0 +1,10 @@
+#include "state/partition_lock.hpp"
+
+namespace sfc::state {
+
+TxnSlot& this_thread_slot() noexcept {
+  thread_local TxnSlot slot;
+  return slot;
+}
+
+}  // namespace sfc::state

@@ -1,0 +1,84 @@
+// Per-partition lock with wound-wait deadlock avoidance.
+//
+// Two kinds of critical sections take this lock:
+//  * head-side packet transactions (strict 2PL: held until commit), and
+//  * replica-side log application (short, ordered acquisition).
+//
+// Each thread of control owns a persistent TxnSlot carrying its current
+// transaction timestamp and a wound flag. The lock stores a pointer to the
+// owner's slot. A contender that is *older* (smaller timestamp) wounds the
+// owner by setting the owner's flag; the owner observes it at its next
+// state access and aborts, releasing its locks. A younger contender waits.
+// Replica appliers use timestamp 0 (older than every transaction) so they
+// are never wounded and never stall behind a long transaction for long.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "runtime/common.hpp"
+
+namespace sfc::state {
+
+/// Identity of a thread of control for wound-wait purposes. Must outlive
+/// any lock acquisition it is used for (we use thread_local instances, so
+/// slots live for the thread's lifetime and dereferencing a stale owner
+/// pointer is safe; the worst case is a spurious wound of a reused slot,
+/// which only costs one extra abort).
+struct TxnSlot {
+  std::atomic<std::uint64_t> ts{0};
+  std::atomic<bool> wounded{false};
+};
+
+/// The calling thread's slot (one per thread, reused across transactions).
+TxnSlot& this_thread_slot() noexcept;
+
+class alignas(rt::kCacheLineSize) PartitionLock {
+ public:
+  /// Wound-wait acquisition for the transaction identified by @p self.
+  /// Returns false if @p self was wounded while waiting (the caller must
+  /// abort; the lock was NOT acquired).
+  bool lock(TxnSlot* self) noexcept {
+    for (unsigned spins = 0;; ++spins) {
+      TxnSlot* expected = nullptr;
+      if (owner_.compare_exchange_weak(expected, self,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+      if (expected != nullptr &&
+          self->ts.load(std::memory_order_relaxed) <
+              expected->ts.load(std::memory_order_relaxed)) {
+        expected->wounded.store(true, std::memory_order_release);
+      }
+      if (self->wounded.load(std::memory_order_acquire)) return false;
+      // Spin briefly, then yield: on an oversubscribed (or single-core)
+      // host a pure spin starves the descheduled owner and livelocks.
+      if (spins < 64) {
+        rt::cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Non-wound acquisition for replica appliers: the slot's timestamp is 0,
+  /// so the caller can never be wounded and this always succeeds.
+  void lock_apply(TxnSlot* self) noexcept {
+    self->ts.store(0, std::memory_order_relaxed);
+    self->wounded.store(false, std::memory_order_relaxed);
+    (void)lock(self);
+  }
+
+  void unlock() noexcept { owner_.store(nullptr, std::memory_order_release); }
+
+  bool held() const noexcept {
+    return owner_.load(std::memory_order_acquire) != nullptr;
+  }
+
+ private:
+  std::atomic<TxnSlot*> owner_{nullptr};
+};
+
+}  // namespace sfc::state

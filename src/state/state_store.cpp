@@ -1,0 +1,144 @@
+#include "state/state_store.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace sfc::state {
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+template <typename T>
+bool read_pod(std::span<const std::uint8_t>& in, T& out) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(&out, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+StateStore::StateStore(std::size_t num_partitions)
+    : num_partitions_(num_partitions), partition_mask_(num_partitions - 1) {
+  assert(num_partitions >= 1 && num_partitions <= kMaxPartitions);
+  assert(rt::is_pow2(num_partitions));
+}
+
+const Bytes* StateStore::get_locked(Key key) const noexcept {
+  const auto& part = partitions_[partition_of(key)];
+  const auto it = part.map.find(key);
+  return it != part.map.end() ? &it->second : nullptr;
+}
+
+void StateStore::put_locked(Key key, Bytes value) {
+  partitions_[partition_of(key)].map.insert_or_assign(key, std::move(value));
+}
+
+bool StateStore::erase_locked(Key key) noexcept {
+  return partitions_[partition_of(key)].map.erase(key) > 0;
+}
+
+void StateStore::apply(std::span<const StateUpdate> updates) {
+  // Collect the touched partition set, lock in index order (deadlock-free
+  // against other appliers), apply, release.
+  std::uint64_t mask = 0;
+  for (const auto& u : updates) mask |= 1ULL << partition_of(u.key);
+
+  TxnSlot& slot = this_thread_slot();
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    if (mask & (1ULL << p)) partitions_[p].lock.lock_apply(&slot);
+  }
+  for (const auto& u : updates) {
+    if (u.erase) {
+      erase_locked(u.key);
+    } else {
+      put_locked(u.key, u.value);
+    }
+  }
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    if (mask & (1ULL << p)) partitions_[p].lock.unlock();
+  }
+}
+
+std::optional<Bytes> StateStore::get(Key key) {
+  auto& part = partitions_[partition_of(key)];
+  TxnSlot& slot = this_thread_slot();
+  part.lock.lock_apply(&slot);
+  std::optional<Bytes> out;
+  if (const auto it = part.map.find(key); it != part.map.end()) {
+    out = it->second;
+  }
+  part.lock.unlock();
+  return out;
+}
+
+std::size_t StateStore::total_entries() {
+  std::size_t total = 0;
+  TxnSlot& slot = this_thread_slot();
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    partitions_[p].lock.lock_apply(&slot);
+    total += partitions_[p].map.size();
+    partitions_[p].lock.unlock();
+  }
+  return total;
+}
+
+void StateStore::clear() {
+  TxnSlot& slot = this_thread_slot();
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    partitions_[p].lock.lock_apply(&slot);
+    partitions_[p].map.clear();
+    partitions_[p].lock.unlock();
+  }
+}
+
+void StateStore::serialize(std::vector<std::uint8_t>& out) {
+  TxnSlot& slot = this_thread_slot();
+  append_u32(out, static_cast<std::uint32_t>(num_partitions_));
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    partitions_[p].lock.lock_apply(&slot);
+    append_u32(out, static_cast<std::uint32_t>(partitions_[p].map.size()));
+    for (const auto& [key, value] : partitions_[p].map) {
+      append_u64(out, key);
+      append_u32(out, static_cast<std::uint32_t>(value.size()));
+      out.insert(out.end(), value.data(), value.data() + value.size());
+    }
+    partitions_[p].lock.unlock();
+  }
+}
+
+bool StateStore::deserialize(std::span<const std::uint8_t> in) {
+  clear();
+  std::uint32_t parts = 0;
+  if (!read_pod(in, parts) || parts != num_partitions_) return false;
+  TxnSlot& slot = this_thread_slot();
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    std::uint32_t entries = 0;
+    if (!read_pod(in, entries)) return false;
+    partitions_[p].lock.lock_apply(&slot);
+    for (std::uint32_t i = 0; i < entries; ++i) {
+      std::uint64_t key = 0;
+      std::uint32_t len = 0;
+      if (!read_pod(in, key) || !read_pod(in, len) || in.size() < len) {
+        partitions_[p].lock.unlock();
+        clear();
+        return false;
+      }
+      partitions_[p].map.emplace(key, Bytes(in.data(), len));
+      in = in.subspan(len);
+    }
+    partitions_[p].lock.unlock();
+  }
+  return in.empty();
+}
+
+}  // namespace sfc::state

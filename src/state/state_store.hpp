@@ -1,0 +1,111 @@
+// Partitioned key-value state store.
+//
+// One store holds the state of one middlebox. Keys are 64-bit (middleboxes
+// hash flow tuples or variable names into them); values are small byte
+// strings. The key space is hash-partitioned into at most 64 partitions,
+// each with its own lock — the unit of concurrency control for packet
+// transactions (head side) and of dependency tracking for replication
+// (replica side). Partitioning is deterministic, so every replica of a
+// middlebox assigns each key to the same partition.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/common.hpp"
+#include "runtime/rng.hpp"
+#include "state/bytes.hpp"
+#include "state/partition_lock.hpp"
+
+namespace sfc::state {
+
+using Key = std::uint64_t;
+
+/// Maximum partitions per store; keeps "the set of touched partitions" a
+/// few mask bits in piggyback logs and dependency vectors compact. The
+/// paper sizes partitions to exceed the core count; 16 comfortably covers
+/// the 8-thread middleboxes of the evaluation.
+inline constexpr std::size_t kMaxPartitions = 16;
+
+/// One element of a transaction's write set / a piggyback log.
+struct StateUpdate {
+  Key key{0};
+  Bytes value{};
+  bool erase{false};
+
+  friend bool operator==(const StateUpdate& a, const StateUpdate& b) noexcept {
+    return a.key == b.key && a.erase == b.erase && a.value == b.value;
+  }
+};
+
+class StateStore : rt::NonCopyable {
+ public:
+  /// @param num_partitions Power of two in [1, 64]. The paper recommends
+  ///        exceeding the core count to reduce contention; 64 is the
+  ///        default.
+  explicit StateStore(std::size_t num_partitions = kMaxPartitions);
+
+  std::size_t num_partitions() const noexcept { return num_partitions_; }
+
+  std::size_t partition_of(Key key) const noexcept {
+    return rt::splitmix64(key) & partition_mask_;
+  }
+
+  PartitionLock& partition_lock(std::size_t pidx) noexcept {
+    return partitions_[pidx].lock;
+  }
+
+  /// --- Primitive accessors. Caller must hold the partition's lock. ---
+  const Bytes* get_locked(Key key) const noexcept;
+  void put_locked(Key key, Bytes value);
+  bool erase_locked(Key key) noexcept;
+
+  /// Applies a batch of updates (replica path): takes the touched
+  /// partitions' locks in index order, applies, releases.
+  void apply(std::span<const StateUpdate> updates);
+
+  /// Convenience point read that takes the partition lock itself.
+  std::optional<Bytes> get(Key key);
+
+  /// Total entries across partitions (takes all locks; diagnostic only).
+  std::size_t total_entries();
+
+  /// Drops all entries (takes all locks).
+  void clear();
+
+  /// --- Recovery serialization. ---
+  /// Serializes every entry. Takes partition locks one at a time, so call
+  /// only while the store is quiesced (recovery guarantees this).
+  void serialize(std::vector<std::uint8_t>& out);
+
+  /// Replaces the store contents from serialize() output. Returns false on
+  /// malformed input (store left cleared).
+  bool deserialize(std::span<const std::uint8_t> in);
+
+ private:
+  struct Partition {
+    PartitionLock lock;
+    std::unordered_map<Key, Bytes> map;
+  };
+
+  std::size_t num_partitions_;
+  std::size_t partition_mask_;
+  std::array<Partition, kMaxPartitions> partitions_;
+};
+
+/// Derives a state key from a name string (for named shared variables like
+/// Monitor's counters). FNV-1a, stable across runs and replicas.
+constexpr Key key_of_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sfc::state

@@ -1,0 +1,153 @@
+#include "state/txn.hpp"
+
+#include <algorithm>
+
+namespace sfc::state {
+
+std::array<std::uint64_t, kMaxPartitions> TxnContext::sequence_snapshot()
+    const noexcept {
+  return seq_;
+}
+
+void TxnContext::restore_sequences(
+    const std::array<std::uint64_t, kMaxPartitions>& seqs) {
+  seq_ = seqs;
+}
+
+Txn::Txn(TxnContext& ctx, std::uint64_t ts)
+    : ctx_(ctx), slot_(this_thread_slot()), ts_(ts) {
+  slot_.ts.store(ts_, std::memory_order_relaxed);
+  slot_.wounded.store(false, std::memory_order_relaxed);
+}
+
+Txn::~Txn() {
+  if (!finished_) rollback();
+}
+
+void Txn::check_wounded() {
+  // Only meaningful while we hold at least one lock: a transaction that
+  // holds nothing cannot be blocking anyone.
+  if (locked_mask_ != 0 && slot_.wounded.load(std::memory_order_acquire)) {
+    ctx_.aborts_.fetch_add(1, std::memory_order_relaxed);
+    throw TxnAborted{};
+  }
+}
+
+std::size_t Txn::acquire(Key key) {
+  ++accesses_;
+  const std::size_t p = ctx_.store_.partition_of(key);
+  const std::uint64_t bit = 1ULL << p;
+  if ((locked_mask_ & bit) == 0) {
+    if (!ctx_.store_.partition_lock(p).lock(&slot_)) {
+      ctx_.aborts_.fetch_add(1, std::memory_order_relaxed);
+      throw TxnAborted{};
+    }
+    locked_mask_ |= bit;
+  }
+  check_wounded();
+  return p;
+}
+
+const StateUpdate* Txn::find_buffered(Key key) const noexcept {
+  // The write set is tiny (middleboxes write 1-2 keys per packet), so a
+  // backwards linear scan finds the latest buffered value fastest.
+  for (std::size_t i = writes_.size(); i > 0; --i) {
+    if (writes_[i - 1].key == key) return &writes_[i - 1];
+  }
+  return nullptr;
+}
+
+std::optional<Bytes> Txn::read(Key key) {
+  acquire(key);
+  if (const StateUpdate* buffered = find_buffered(key)) {
+    if (buffered->erase) return std::nullopt;
+    return buffered->value;
+  }
+  if (const Bytes* v = ctx_.store_.get_locked(key)) return *v;
+  return std::nullopt;
+}
+
+bool Txn::contains(Key key) {
+  acquire(key);
+  if (const StateUpdate* buffered = find_buffered(key)) return !buffered->erase;
+  return ctx_.store_.get_locked(key) != nullptr;
+}
+
+void Txn::write(Key key, Bytes value) {
+  acquire(key);
+  writes_.push_back(StateUpdate{key, std::move(value), false});
+}
+
+void Txn::erase(Key key) {
+  acquire(key);
+  writes_.push_back(StateUpdate{key, Bytes{}, true});
+}
+
+std::uint64_t Txn::fetch_add(Key key, std::uint64_t delta) {
+  const auto current = read(key);
+  const std::uint64_t next =
+      (current ? current->as<std::uint64_t>() : 0) + delta;
+  write(key, Bytes::of(next));
+  return next;
+}
+
+TxnRecord Txn::commit() {
+  check_wounded();
+  TxnRecord record;
+  record.touched_mask = locked_mask_;
+  record.accesses = accesses_;
+
+  if (!writes_.empty()) {
+    // Deduplicate the write set in place: only the final value per key is
+    // replicated (program order preserved for distinct keys).
+    WriteSet final_writes;
+    for (auto& w : writes_) {
+      if (auto it = std::find_if(
+              final_writes.begin(), final_writes.end(),
+              [&](const StateUpdate& f) { return f.key == w.key; });
+          it != final_writes.end()) {
+        *it = std::move(w);
+      } else {
+        final_writes.push_back(std::move(w));
+      }
+    }
+
+    for (const auto& w : final_writes) {
+      if (w.erase) {
+        ctx_.store_.erase_locked(w.key);
+      } else {
+        ctx_.store_.put_locked(w.key, w.value);
+      }
+    }
+    // Bump the dependency vector for every touched partition — read or
+    // written (paper §4.3) — while still holding the locks, so the
+    // sequence numbers map this transaction to a valid serial order.
+    for (std::size_t p = 0; p < kMaxPartitions; ++p) {
+      if (record.touched_mask & (1ULL << p)) {
+        record.seqs[p] = ++ctx_.seq_[p];
+      }
+    }
+    record.writes = std::move(final_writes);
+  }
+
+  committed_ = true;
+  finished_ = true;
+  release_locks();
+  return record;
+}
+
+void Txn::rollback() noexcept {
+  finished_ = true;
+  writes_.clear();
+  release_locks();
+}
+
+void Txn::release_locks() noexcept {
+  for (std::size_t p = 0; p < kMaxPartitions; ++p) {
+    if (locked_mask_ & (1ULL << p)) ctx_.store_.partition_lock(p).unlock();
+  }
+  locked_mask_ = 0;
+  slot_.wounded.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace sfc::state

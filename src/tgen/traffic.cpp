@@ -1,0 +1,124 @@
+#include "tgen/traffic.hpp"
+
+#include <thread>
+
+#include "runtime/clock.hpp"
+
+namespace sfc::tgen {
+
+TrafficSource::TrafficSource(pkt::PacketPool& pool, net::Link& out,
+                             Workload workload, double rate_pps)
+    : pool_(pool), out_(out), workload_(workload), limiter_(rate_pps) {}
+
+void TrafficSource::start() {
+  if (worker_) return;
+  worker_ = std::make_unique<rt::Worker>();
+  worker_->start("tgen-source", [this] { return body(); });
+}
+
+void TrafficSource::stop() { worker_.reset(); }
+
+bool TrafficSource::body() {
+  limiter_.wait();
+  pkt::Packet* p = pool_.alloc_raw();
+  if (p == nullptr) {
+    // Pool exhausted: the chain is saturated; natural back-pressure.
+    pool_stalls_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const pkt::FlowKey flow = workload_.flow(next_flow_);
+  next_flow_ = (next_flow_ + 1) % workload_.num_flows;
+
+  if (workload_.tcp) {
+    pkt::PacketBuilder(*p).tcp(flow, workload_.frame_len);
+  } else {
+    pkt::PacketBuilder(*p).udp(flow, workload_.frame_len);
+  }
+  const std::uint64_t id = sent_.fetch_add(1, std::memory_order_relaxed) + 1;
+  p->anno().packet_id = id;
+  p->anno().ingress_ns = rt::now_ns();
+  p->anno().flow_hash = flow.rss_hash();
+
+  if (!out_.send(p)) {
+    // Ingress queue full: count it as offered-but-not-admitted.
+    pool_.free_raw(p);
+    sent_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  meter_.add(1, workload_.frame_len);
+  return true;
+}
+
+TrafficSink::TrafficSink(pkt::PacketPool& pool, net::Link& in)
+    : pool_(pool), in_(in) {}
+
+void TrafficSink::start() {
+  if (worker_) return;
+  worker_ = std::make_unique<rt::Worker>();
+  worker_->start("tgen-sink", [this] { return body(); });
+}
+
+void TrafficSink::stop() { worker_.reset(); }
+
+bool TrafficSink::body() {
+  pkt::Packet* p = in_.poll();
+  if (p == nullptr) return false;
+  if (!p->anno().is_control && p->anno().ingress_ns != 0) {
+    const std::uint64_t lat = rt::now_ns() - p->anno().ingress_ns;
+    received_.fetch_add(1, std::memory_order_relaxed);
+    meter_.add(1, p->size());
+    std::lock_guard lock(latency_mutex_);
+    latency_.record(lat);
+  }
+  pool_.free_raw(p);
+  return true;
+}
+
+RunResult run_load(pkt::PacketPool& pool, net::Link& ingress, net::Link& egress,
+                   const Workload& workload, double rate_pps,
+                   double duration_s, double warmup_s) {
+  TrafficSource source(pool, ingress, workload, rate_pps);
+  TrafficSink sink(pool, egress);
+  sink.start();
+  source.start();
+
+  const auto sleep_for = [](double seconds) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(seconds * 1e6)));
+  };
+
+  sleep_for(warmup_s);
+  sink.reset_latency();
+  const std::uint64_t sent0 = source.packets_sent();
+  const std::uint64_t recv0 = sink.packets_received();
+  const std::uint64_t bytes0 = sink.meter().bytes();
+  const std::uint64_t t0 = rt::now_ns();
+
+  sleep_for(duration_s);
+
+  const std::uint64_t t1 = rt::now_ns();
+  const std::uint64_t sent1 = source.packets_sent();
+  const std::uint64_t recv1 = sink.packets_received();
+  const std::uint64_t bytes1 = sink.meter().bytes();
+
+  source.stop();
+  // Give the chain a moment to drain so held packets do not skew the next
+  // run, then stop the sink.
+  sleep_for(0.05);
+  sink.stop();
+
+  RunResult result;
+  result.duration_s = static_cast<double>(t1 - t0) * 1e-9;
+  result.sent = sent1 - sent0;
+  result.received = recv1 - recv0;
+  result.offered_mpps =
+      static_cast<double>(result.sent) / result.duration_s * 1e-6;
+  result.delivered_mpps =
+      static_cast<double>(result.received) / result.duration_s * 1e-6;
+  result.gbps =
+      static_cast<double>(bytes1 - bytes0) * 8.0 / result.duration_s * 1e-9;
+  result.latency = sink.latency();
+  return result;
+}
+
+}  // namespace sfc::tgen

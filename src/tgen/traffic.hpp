@@ -1,0 +1,137 @@
+// Traffic generation and measurement (MoonGen / pktgen stand-ins).
+//
+// TrafficSource fabricates UDP/TCP flows and injects them at a configured
+// rate (or as fast as the chain back-pressures via the shared packet
+// pool). TrafficSink drains the chain egress, recording per-packet latency
+// (from the generator timestamp annotation) and throughput. Both run on
+// their own worker threads so measurement proceeds while the chain runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/link.hpp"
+#include "packet/packet_io.hpp"
+#include "packet/packet_pool.hpp"
+#include "runtime/histogram.hpp"
+#include "runtime/meter.hpp"
+#include "runtime/rate_limiter.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/worker.hpp"
+
+namespace sfc::tgen {
+
+struct Workload {
+  std::size_t num_flows{64};
+  std::size_t frame_len{256};     ///< Paper default: 256 B packets.
+  bool tcp{false};
+  std::uint32_t src_base{0x0a000001};  ///< 10.0.0.1+ (internal for NAT).
+  std::uint32_t dst_base{0x08080808};  ///< 8.8.8.8+ (external).
+  std::uint16_t src_port_base{20000};
+  std::uint16_t dst_port{443};
+  std::uint64_t seed{42};
+
+  pkt::FlowKey flow(std::size_t i) const noexcept {
+    pkt::FlowKey f;
+    f.src_ip = src_base + static_cast<std::uint32_t>(i % 251);
+    f.dst_ip = dst_base + static_cast<std::uint32_t>(i / 251);
+    f.src_port = static_cast<std::uint16_t>(src_port_base + i);
+    f.dst_port = dst_port;
+    f.protocol = tcp ? pkt::Ipv4Header::kProtoTcp : pkt::Ipv4Header::kProtoUdp;
+    return f;
+  }
+};
+
+class TrafficSource : rt::NonCopyable {
+ public:
+  /// @param rate_pps 0 = unlimited (pool back-pressure sets the pace).
+  TrafficSource(pkt::PacketPool& pool, net::Link& out, Workload workload,
+                double rate_pps = 0.0);
+  ~TrafficSource() { stop(); }
+
+  void start();
+  void stop();
+
+  std::uint64_t packets_sent() const noexcept { return sent_.load(); }
+  std::uint64_t pool_stalls() const noexcept { return pool_stalls_.load(); }
+  const rt::Meter& meter() const noexcept { return meter_; }
+
+ private:
+  bool body();
+
+  pkt::PacketPool& pool_;
+  net::Link& out_;
+  const Workload workload_;
+  rt::RateLimiter limiter_;
+  std::unique_ptr<rt::Worker> worker_;
+
+  std::size_t next_flow_{0};
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> pool_stalls_{0};
+  rt::Meter meter_;
+};
+
+class TrafficSink : rt::NonCopyable {
+ public:
+  TrafficSink(pkt::PacketPool& pool, net::Link& in);
+  ~TrafficSink() { stop(); }
+
+  void start();
+  void stop();
+
+  std::uint64_t packets_received() const noexcept { return received_.load(); }
+  const rt::Meter& meter() const noexcept { return meter_; }
+
+  /// Snapshot of the latency histogram (nanoseconds).
+  rt::Histogram latency() const {
+    std::lock_guard lock(latency_mutex_);
+    return latency_;
+  }
+
+  void reset_latency() {
+    std::lock_guard lock(latency_mutex_);
+    latency_.reset();
+  }
+
+ private:
+  bool body();
+
+  pkt::PacketPool& pool_;
+  net::Link& in_;
+  std::unique_ptr<rt::Worker> worker_;
+  std::atomic<std::uint64_t> received_{0};
+  rt::Meter meter_;
+  mutable std::mutex latency_mutex_;
+  rt::Histogram latency_;
+};
+
+/// Result of a timed load run.
+struct RunResult {
+  double duration_s{0};
+  double offered_mpps{0};
+  double delivered_mpps{0};
+  double gbps{0};
+  std::uint64_t sent{0};
+  std::uint64_t received{0};
+  rt::Histogram latency;  ///< Nanoseconds.
+
+  double mean_latency_us() const { return latency.mean() / 1000.0; }
+  double p50_latency_us() const {
+    return static_cast<double>(latency.p50()) / 1000.0;
+  }
+  double p99_latency_us() const {
+    return static_cast<double>(latency.p99()) / 1000.0;
+  }
+};
+
+/// Drives @p workload through ingress/egress links for @p duration_s
+/// seconds at @p rate_pps (0 = max) after @p warmup_s of warmup, and
+/// reports delivered throughput and latency.
+RunResult run_load(pkt::PacketPool& pool, net::Link& ingress, net::Link& egress,
+                   const Workload& workload, double rate_pps,
+                   double duration_s, double warmup_s = 0.2);
+
+}  // namespace sfc::tgen

@@ -1,0 +1,195 @@
+// Unit tests for the egress buffer and forwarder (paper §5): hold/release
+// semantics, commit absorption, feedback, propagating packets.
+#include <gtest/gtest.h>
+
+#include "core/buffer.hpp"
+#include "core/forwarder.hpp"
+#include "packet/packet_io.hpp"
+
+namespace sfc::ftc {
+namespace {
+
+struct Rig {
+  pkt::PacketPool pool{64};
+  net::Link egress{pool, net::LinkConfig{}};
+  FeedbackChannel feedback;
+  EgressBuffer buffer{pool, egress, feedback};
+
+  pkt::Packet* data_packet(std::uint64_t id) {
+    pkt::Packet* p = pool.alloc_raw();
+    pkt::PacketBuilder(*p).udp(
+        pkt::FlowKey{1, 2, 3, 4, pkt::Ipv4Header::kProtoUdp}, 128);
+    p->anno().packet_id = id;
+    p->anno().ingress_ns = 1;
+    return p;
+  }
+
+  PiggybackLog log_for(MboxId mbox, std::size_t partition, std::uint64_t seq) {
+    PiggybackLog log;
+    log.mbox = mbox;
+    log.dep.mask = 1ULL << partition;
+    log.dep.seq[partition] = seq;
+    return log;
+  }
+};
+
+TEST(EgressBuffer, EmptyMessageReleasesImmediately) {
+  Rig rig;
+  rig.buffer.submit(rig.data_packet(1), PiggybackMessage{});
+  EXPECT_EQ(rig.buffer.held_count(), 0u);
+  pkt::Packet* out = rig.egress.poll();
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->anno().packet_id, 1u);
+  rig.pool.free_raw(out);
+  EXPECT_EQ(rig.buffer.stats().released_immediately, 1u);
+}
+
+TEST(EgressBuffer, HoldsUntilCommitCovers) {
+  Rig rig;
+  PiggybackMessage msg;
+  msg.logs.push_back(rig.log_for(2, 0, 5));
+  rig.buffer.submit(rig.data_packet(1), std::move(msg));
+  EXPECT_EQ(rig.buffer.held_count(), 1u);
+  EXPECT_EQ(rig.egress.poll(), nullptr);
+
+  // A later packet carries the commit for mbox 2 covering seq 5.
+  PiggybackMessage commit_msg;
+  MaxVector commit;
+  commit.seq[0] = 5;
+  commit_msg.set_commit(2, commit);
+  rig.buffer.submit(rig.data_packet(2), std::move(commit_msg));
+
+  // Both packets released (the second had no pending logs).
+  EXPECT_EQ(rig.buffer.held_count(), 0u);
+  int released = 0;
+  while (pkt::Packet* p = rig.egress.poll()) {
+    ++released;
+    rig.pool.free_raw(p);
+  }
+  EXPECT_EQ(released, 2);
+}
+
+TEST(EgressBuffer, InsufficientCommitKeepsHolding) {
+  Rig rig;
+  PiggybackMessage msg;
+  msg.logs.push_back(rig.log_for(2, 0, 5));
+  rig.buffer.submit(rig.data_packet(1), std::move(msg));
+
+  PiggybackMessage commit_msg;
+  MaxVector commit;
+  commit.seq[0] = 4;  // One short.
+  commit_msg.set_commit(2, commit);
+  rig.buffer.submit(rig.data_packet(2), std::move(commit_msg));
+  EXPECT_EQ(rig.buffer.held_count(), 1u);
+}
+
+TEST(EgressBuffer, ControlPacketsDeliverCommitsAndDie) {
+  Rig rig;
+  PiggybackMessage msg;
+  msg.logs.push_back(rig.log_for(1, 3, 2));
+  rig.buffer.submit(rig.data_packet(1), std::move(msg));
+  EXPECT_EQ(rig.buffer.held_count(), 1u);
+
+  pkt::Packet* prop = Forwarder::make_propagating_packet(rig.pool);
+  PiggybackMessage commit_msg;
+  MaxVector commit;
+  commit.seq[3] = 2;
+  commit_msg.set_commit(1, commit);
+  rig.buffer.submit(prop, std::move(commit_msg));
+
+  EXPECT_EQ(rig.buffer.held_count(), 0u);
+  // Only the data packet leaves the chain; the propagating packet is
+  // consumed.
+  pkt::Packet* out = rig.egress.poll();
+  ASSERT_NE(out, nullptr);
+  EXPECT_FALSE(out->anno().is_control);
+  rig.pool.free_raw(out);
+  EXPECT_EQ(rig.egress.poll(), nullptr);
+  EXPECT_EQ(rig.buffer.stats().control_consumed, 1u);
+}
+
+TEST(EgressBuffer, FeedsLogsBackWithoutCommits) {
+  Rig rig;
+  PiggybackMessage msg;
+  msg.logs.push_back(rig.log_for(2, 0, 1));
+  MaxVector commit;
+  commit.seq[1] = 9;
+  msg.set_commit(0, commit);
+  rig.buffer.submit(rig.data_packet(1), std::move(msg));
+
+  auto fed_back = rig.feedback.pop();
+  ASSERT_TRUE(fed_back.has_value());
+  EXPECT_EQ(fed_back->logs.size(), 1u);   // Wrap logs keep traveling.
+  EXPECT_TRUE(fed_back->commits.empty()); // Commits end at the buffer.
+}
+
+TEST(EgressBuffer, AbsorbWithoutSubmit) {
+  Rig rig;
+  PiggybackMessage msg;
+  msg.logs.push_back(rig.log_for(2, 0, 1));
+  rig.buffer.submit(rig.data_packet(1), std::move(msg));
+  EXPECT_EQ(rig.buffer.held_count(), 1u);
+
+  MaxVector commit;
+  commit.seq[0] = 1;
+  CommitVector cv{2, commit};
+  rig.buffer.absorb({&cv, 1});
+  rig.buffer.release_eligible();
+  EXPECT_EQ(rig.buffer.held_count(), 0u);
+}
+
+TEST(Forwarder, CollectMergesPendingMessages) {
+  ChainConfig cfg;
+  FeedbackChannel feedback;
+  Forwarder fwd(feedback, cfg);
+
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    PiggybackMessage m;
+    PiggybackLog log;
+    log.mbox = 7;
+    log.dep.mask = 1;
+    log.dep.seq[0] = seq;
+    m.logs.push_back(log);
+    feedback.push(std::move(m));
+  }
+  auto merged = fwd.collect();
+  EXPECT_EQ(merged.logs.size(), 3u);
+  EXPECT_EQ(merged.logs[0].dep.seq[0], 1u);  // Order preserved.
+  EXPECT_EQ(merged.logs[2].dep.seq[0], 3u);
+}
+
+TEST(Forwarder, MergeLimitBoundsPerPacketWork) {
+  ChainConfig cfg;
+  cfg.forwarder_merge_limit = 2;
+  FeedbackChannel feedback;
+  Forwarder fwd(feedback, cfg);
+  for (int i = 0; i < 5; ++i) feedback.push(PiggybackMessage{});
+  (void)fwd.collect();
+  EXPECT_EQ(feedback.pending_approx(), 3u);
+}
+
+TEST(Forwarder, PropagationDueOnlyWhenIdleAndPending) {
+  ChainConfig cfg;
+  cfg.propagate_interval_ns = 1'000'000;  // 1 ms.
+  FeedbackChannel feedback;
+  Forwarder fwd(feedback, cfg);
+  EXPECT_FALSE(fwd.propagation_due());  // Nothing pending.
+  feedback.push(PiggybackMessage{});
+  EXPECT_FALSE(fwd.propagation_due());  // Pending but not idle yet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_TRUE(fwd.propagation_due());
+  fwd.note_activity();
+  EXPECT_FALSE(fwd.propagation_due());
+}
+
+TEST(Forwarder, PropagatingPacketIsControlAndParseable) {
+  pkt::PacketPool pool(4);
+  pkt::Packet* p = Forwarder::make_propagating_packet(pool);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->anno().is_control);
+  EXPECT_TRUE(pkt::parse_packet(*p).has_value());
+  pool.free_raw(p);
+}
+
+}  // namespace
+}  // namespace sfc::ftc

@@ -1,0 +1,204 @@
+// Unit tests for the middleboxes of Table 1 (plus the LoadBalancer
+// extension), run directly against the transactional state API.
+#include <gtest/gtest.h>
+
+#include "mbox/firewall.hpp"
+#include "mbox/gen.hpp"
+#include "mbox/load_balancer.hpp"
+#include "mbox/monitor.hpp"
+#include "mbox/nat.hpp"
+#include "packet/packet_io.hpp"
+
+namespace sfc::mbox {
+namespace {
+
+struct Harness {
+  state::StateStore store{16};
+  state::TxnContext ctx{store};
+  pkt::Packet packet;
+
+  /// Runs one packet through @p mbox; returns verdict and applies any
+  /// deferred rewrite like the chain runtime does.
+  Verdict run(Middlebox& mbox, const pkt::FlowKey& flow,
+              std::uint32_t thread_id = 0, std::size_t frame = 128) {
+    if (flow.protocol == pkt::Ipv4Header::kProtoTcp) {
+      pkt::PacketBuilder(packet).tcp(flow, frame);
+    } else {
+      pkt::PacketBuilder(packet).udp(flow, frame);
+    }
+    auto parsed = pkt::parse_packet(packet);
+    Verdict verdict = Verdict::kForward;
+    ProcessContext pctx;
+    pctx.thread_id = thread_id;
+    pctx.num_threads = 8;
+    if (mbox.stateless()) {
+      verdict = mbox.process_stateless(packet, *parsed, pctx);
+    } else {
+      state::run_transaction(ctx, [&](state::Txn& txn) {
+        pctx.deferred_rewrite.reset();
+        verdict = mbox.process(txn, packet, *parsed, pctx);
+      });
+    }
+    if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
+    return verdict;
+  }
+
+  pkt::FlowKey parsed_flow() {
+    auto parsed = pkt::parse_packet(packet);
+    return parsed->flow;
+  }
+};
+
+pkt::FlowKey internal_flow(std::uint16_t port = 5555) {
+  return pkt::FlowKey{0x0a000001, 0x08080808, port, 443,
+                      pkt::Ipv4Header::kProtoUdp};
+}
+
+TEST(MonitorMbox, CountsPerThreadGroup) {
+  Harness h;
+  Monitor monitor(2);  // Threads {0,1} share, {2,3} share, ...
+  h.run(monitor, internal_flow(), /*thread_id=*/0);
+  h.run(monitor, internal_flow(), /*thread_id=*/1);
+  h.run(monitor, internal_flow(), /*thread_id=*/2);
+  EXPECT_EQ(h.store.get(monitor.counter_key(0))->as<std::uint64_t>(), 2u);
+  EXPECT_EQ(h.store.get(monitor.counter_key(2))->as<std::uint64_t>(), 1u);
+  EXPECT_EQ(monitor.counter_key(0), monitor.counter_key(1));
+  EXPECT_NE(monitor.counter_key(0), monitor.counter_key(2));
+}
+
+TEST(MonitorMbox, PerFlowMode) {
+  Harness h;
+  Monitor monitor(1, Monitor::Mode::kPerFlow);
+  const auto f1 = internal_flow(1000);
+  const auto f2 = internal_flow(2000);
+  h.run(monitor, f1);
+  h.run(monitor, f1);
+  h.run(monitor, f2);
+  EXPECT_EQ(h.store.get(f1.hash())->as<std::uint64_t>(), 2u);
+  EXPECT_EQ(h.store.get(f2.hash())->as<std::uint64_t>(), 1u);
+}
+
+TEST(GenMbox, WritesConfiguredStateSize) {
+  Harness h;
+  Gen gen(128);
+  h.run(gen, internal_flow(), /*thread_id=*/3);
+  const auto v = h.store.get(state::key_of_name("gen-state") + 3);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 128u);
+}
+
+TEST(MazuNatMbox, OutboundCreatesBidirectionalMapping) {
+  Harness h;
+  MazuNat nat;
+  const auto flow = internal_flow();
+  EXPECT_EQ(h.run(nat, flow), Verdict::kForward);
+
+  // Source rewritten to the external IP.
+  const auto rewritten = h.parsed_flow();
+  EXPECT_EQ(rewritten.src_ip, nat.config().external_ip);
+  EXPECT_EQ(rewritten.dst_ip, flow.dst_ip);
+
+  // The return direction maps back to the internal endpoint.
+  const auto reverse = rewritten.reversed();
+  const auto entry = h.store.get(reverse.hash());
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->as<NatEntry>().rewritten.dst_ip, flow.src_ip);
+}
+
+TEST(MazuNatMbox, MappingIsStableAcrossPackets) {
+  Harness h;
+  MazuNat nat;
+  const auto flow = internal_flow();
+  h.run(nat, flow);
+  const auto first = h.parsed_flow();
+  h.run(nat, flow);
+  EXPECT_EQ(h.parsed_flow(), first);  // Connection persistence.
+  // Only one port consumed.
+  EXPECT_EQ(h.store.get(MazuNat::port_counter_key())->as<std::uint64_t>(), 1u);
+}
+
+TEST(MazuNatMbox, DistinctFlowsGetDistinctPorts) {
+  Harness h;
+  MazuNat nat;
+  h.run(nat, internal_flow(1000));
+  const auto p1 = h.parsed_flow().src_port;
+  h.run(nat, internal_flow(2000));
+  const auto p2 = h.parsed_flow().src_port;
+  EXPECT_NE(p1, p2);
+}
+
+TEST(MazuNatMbox, UnsolicitedInboundDropped) {
+  Harness h;
+  MazuNat nat;
+  pkt::FlowKey inbound{0x08080808, nat.config().external_ip, 443, 12345,
+                       pkt::Ipv4Header::kProtoUdp};
+  EXPECT_EQ(h.run(nat, inbound), Verdict::kDrop);
+}
+
+TEST(SimpleNatMbox, RewritesAndRemembers) {
+  Harness h;
+  SimpleNat nat;
+  const auto flow = internal_flow();
+  EXPECT_EQ(h.run(nat, flow), Verdict::kForward);
+  const auto first = h.parsed_flow();
+  EXPECT_NE(first.src_ip, flow.src_ip);
+  h.run(nat, flow);
+  EXPECT_EQ(h.parsed_flow(), first);
+}
+
+TEST(FirewallMbox, FirstMatchWins) {
+  std::vector<FirewallRule> rules;
+  // Deny 10.0.0.0/8 to port 443; allow everything else from 10/8.
+  rules.push_back(FirewallRule{0x0a000000, 0xff000000, 0, 0, 443, 0, false});
+  rules.push_back(FirewallRule{0x0a000000, 0xff000000, 0, 0, 0, 0, true});
+  Firewall fw(std::move(rules), /*default_allow=*/false);
+  EXPECT_TRUE(fw.stateless());
+
+  Harness h;
+  EXPECT_EQ(h.run(fw, internal_flow()), Verdict::kDrop);  // dst 443.
+  auto ok = internal_flow();
+  ok.dst_port = 80;
+  EXPECT_EQ(h.run(fw, ok), Verdict::kForward);
+  pkt::FlowKey other{0x0b000001, 0x08080808, 1, 80, pkt::Ipv4Header::kProtoUdp};
+  EXPECT_EQ(h.run(fw, other), Verdict::kDrop);  // Default deny.
+}
+
+TEST(FirewallMbox, ProtocolWildcard) {
+  std::vector<FirewallRule> rules;
+  rules.push_back(FirewallRule{0, 0, 0, 0, 0, pkt::Ipv4Header::kProtoTcp,
+                               /*allow=*/false});
+  Firewall fw(std::move(rules), true);
+  Harness h;
+  auto tcp = internal_flow();
+  tcp.protocol = pkt::Ipv4Header::kProtoTcp;
+  EXPECT_EQ(h.run(fw, tcp), Verdict::kDrop);
+  EXPECT_EQ(h.run(fw, internal_flow()), Verdict::kForward);  // UDP passes.
+}
+
+TEST(LoadBalancerMbox, RoundRobinWithPersistence) {
+  Harness h;
+  LoadBalancer lb({0xC0A80001, 0xC0A80002, 0xC0A80003});
+  std::vector<std::uint32_t> backends;
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    h.run(lb, internal_flow(1000 + i));
+    backends.push_back(h.parsed_flow().dst_ip);
+  }
+  // Three flows spread across three distinct backends.
+  std::sort(backends.begin(), backends.end());
+  EXPECT_EQ(std::unique(backends.begin(), backends.end()), backends.end());
+
+  // Existing flow keeps its backend.
+  h.run(lb, internal_flow(1000));
+  const auto again = h.parsed_flow().dst_ip;
+  h.run(lb, internal_flow(1000));
+  EXPECT_EQ(h.parsed_flow().dst_ip, again);
+}
+
+TEST(LoadBalancerMbox, NoBackendsDrops) {
+  Harness h;
+  LoadBalancer lb({});
+  EXPECT_EQ(h.run(lb, internal_flow()), Verdict::kDrop);
+}
+
+}  // namespace
+}  // namespace sfc::mbox

@@ -1,0 +1,238 @@
+// Tests for the network simulation substrate: links (delay, loss,
+// reordering, backpressure) and the control plane (ordering, delays,
+// regions, bandwidth).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/control.hpp"
+#include "runtime/clock.hpp"
+#include "net/link.hpp"
+#include "packet/packet_io.hpp"
+
+namespace sfc::net {
+namespace {
+
+pkt::Packet* make_packet(pkt::PacketPool& pool, std::uint64_t id) {
+  pkt::Packet* p = pool.alloc_raw();
+  if (p != nullptr) {
+    pkt::PacketBuilder(*p).udp(
+        pkt::FlowKey{1, 2, 3, 4, pkt::Ipv4Header::kProtoUdp}, 64);
+    p->anno().packet_id = id;
+  }
+  return p;
+}
+
+TEST(Link, FastPathDeliversInOrder) {
+  pkt::PacketPool pool(64);
+  Link link(pool, LinkConfig{});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(link.send(make_packet(pool, i)));
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    pkt::Packet* p = link.poll();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->anno().packet_id, i);
+    pool.free_raw(p);
+  }
+  EXPECT_EQ(link.poll(), nullptr);
+  EXPECT_TRUE(link.drained());
+}
+
+TEST(Link, BackpressureWhenFull) {
+  pkt::PacketPool pool(64);
+  LinkConfig cfg;
+  cfg.capacity = 4;
+  Link link(pool, cfg);
+  std::size_t accepted = 0;
+  while (true) {
+    pkt::Packet* p = make_packet(pool, accepted);
+    if (!link.send(p)) {
+      pool.free_raw(p);
+      break;
+    }
+    ++accepted;
+  }
+  EXPECT_GE(accepted, 4u);
+  EXPECT_GT(link.stats().dropped_full, 0u);
+  pool.free_raw(link.poll());
+  EXPECT_TRUE(link.send(make_packet(pool, 99)));
+}
+
+TEST(Link, DelayHoldsPacketsUntilDue) {
+  pkt::PacketPool pool(8);
+  LinkConfig cfg;
+  cfg.delay_ns = 20'000'000;  // 20 ms.
+  Link link(pool, cfg);
+  ASSERT_TRUE(link.send(make_packet(pool, 1)));
+  EXPECT_EQ(link.poll(), nullptr);  // Not yet deliverable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  pkt::Packet* p = link.poll();
+  ASSERT_NE(p, nullptr);
+  pool.free_raw(p);
+}
+
+TEST(Link, LossDropsRoughlyAtConfiguredRate) {
+  pkt::PacketPool pool(64);
+  LinkConfig cfg;
+  cfg.loss = 0.3;
+  cfg.delay_ns = 1;  // Force the timed path.
+  Link link(pool, cfg);
+  constexpr int kPackets = 4000;
+  for (int i = 0; i < kPackets; ++i) {
+    pkt::Packet* p = make_packet(pool, i);
+    ASSERT_NE(p, nullptr);
+    ASSERT_TRUE(link.send(p));
+    std::this_thread::sleep_for(std::chrono::microseconds(1));
+    if (pkt::Packet* out = link.poll()) pool.free_raw(out);
+  }
+  const auto stats = link.stats();
+  const double loss_rate =
+      static_cast<double>(stats.dropped_loss) / kPackets;
+  EXPECT_NEAR(loss_rate, 0.3, 0.05);
+  // Lost packets were returned to the pool, not leaked: drain and count.
+  while (pkt::Packet* p = link.poll()) pool.free_raw(p);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  while (pkt::Packet* p = link.poll()) pool.free_raw(p);
+  EXPECT_EQ(pool.available_approx(), 64u);
+}
+
+TEST(Link, ReorderingDeliversAllPackets) {
+  pkt::PacketPool pool(256);
+  LinkConfig cfg;
+  cfg.delay_ns = 1000;
+  cfg.reorder = 0.3;
+  cfg.reorder_extra_ns = 100'000;
+  Link link(pool, cfg);
+  constexpr std::uint64_t kPackets = 200;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    ASSERT_TRUE(link.send(make_packet(pool, i)));
+  }
+  std::vector<std::uint64_t> order;
+  const auto deadline = rt::now_ns() + 2'000'000'000ull;
+  while (order.size() < kPackets && rt::now_ns() < deadline) {
+    if (pkt::Packet* p = link.poll()) {
+      order.push_back(p->anno().packet_id);
+      pool.free_raw(p);
+    }
+  }
+  ASSERT_EQ(order.size(), kPackets);
+  // With 30% reordering, delivery must NOT be fully in order.
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    out_of_order |= order[i] < order[i - 1];
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(Link, SendBlockingTimesOut) {
+  pkt::PacketPool pool(16);
+  LinkConfig cfg;
+  cfg.capacity = 2;
+  Link link(pool, cfg);
+  ASSERT_TRUE(link.send(make_packet(pool, 0)));
+  ASSERT_TRUE(link.send(make_packet(pool, 1)));
+  pkt::Packet* p = make_packet(pool, 2);
+  EXPECT_FALSE(link.send_blocking(p, 5'000'000));  // 5 ms timeout.
+  pool.free_raw(p);
+}
+
+TEST(ControlPlane, DeliversInOrderPerSender) {
+  ControlPlane cp;
+  cp.register_node(1);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    Message m;
+    m.type = 100 + i;
+    m.from = 2;
+    m.to = 1;
+    cp.send(std::move(m));
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    auto msg = cp.poll(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->type, 100 + i);
+  }
+  EXPECT_FALSE(cp.poll(1).has_value());
+}
+
+TEST(ControlPlane, UnknownDestinationDropped) {
+  ControlPlane cp;
+  Message m;
+  m.to = 42;
+  cp.send(std::move(m));  // Must not crash or queue anywhere.
+}
+
+TEST(ControlPlane, PairDelayHoldsDelivery) {
+  ControlPlane cp;
+  cp.register_node(1);
+  cp.set_delay(1, 2, 30'000'000);  // 30 ms one way.
+  Message m;
+  m.from = 2;
+  m.to = 1;
+  m.type = 7;
+  const auto t0 = rt::now_ns();
+  cp.send(std::move(m));
+  EXPECT_FALSE(cp.poll(1).has_value());
+  auto got = cp.wait_for(1, 7, 1'000'000'000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GE(rt::now_ns() - t0, 30'000'000u);
+}
+
+TEST(ControlPlane, RegionDelaysAndOverrides) {
+  ControlPlane cp;
+  cp.set_region(1, 0);
+  cp.set_region(2, 1);
+  cp.set_region(3, 1);
+  cp.set_inter_region_delay(10'000'000);
+  cp.set_region_delay(0, 1, 25'000'000);
+  EXPECT_EQ(cp.delay_between(1, 2), 25'000'000u);  // Pair override.
+  EXPECT_EQ(cp.delay_between(2, 3), 0u);           // Same region.
+  cp.set_region(4, 2);
+  EXPECT_EQ(cp.delay_between(1, 4), 10'000'000u);  // Default inter-region.
+}
+
+TEST(ControlPlane, BandwidthDelaysLargePayloads) {
+  ControlPlane cp;
+  cp.register_node(1);
+  cp.set_bandwidth_gbps(1.0);  // 8 ns per byte.
+  Message m;
+  m.from = 2;
+  m.to = 1;
+  m.type = 9;
+  m.payload.resize(1'000'000);  // ~8 ms at 1 Gbps.
+  const auto t0 = rt::now_ns();
+  cp.send(std::move(m));
+  auto got = cp.wait_for(1, 9, 1'000'000'000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GE(rt::now_ns() - t0, 7'000'000u);
+}
+
+TEST(ControlPlane, WaitForFiltersByTypeAndTag) {
+  ControlPlane cp;
+  cp.register_node(1);
+  Message noise;
+  noise.to = 1;
+  noise.type = 1;
+  cp.send(std::move(noise));
+  Message wrong_tag;
+  wrong_tag.to = 1;
+  wrong_tag.type = 2;
+  wrong_tag.tag = 5;
+  cp.send(std::move(wrong_tag));
+  Message target;
+  target.to = 1;
+  target.type = 2;
+  target.tag = 9;
+  cp.send(std::move(target));
+
+  auto got = cp.wait_for(1, 2, 100'000'000, /*tag=*/9);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tag, 9u);
+  // The other messages were requeued, not lost.
+  int remaining = 0;
+  while (cp.poll(1)) ++remaining;
+  EXPECT_EQ(remaining, 2);
+}
+
+}  // namespace
+}  // namespace sfc::net

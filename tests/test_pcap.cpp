@@ -1,0 +1,71 @@
+// Tests for the pcap writer (debugging tap).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "packet/packet_io.hpp"
+#include "packet/pcap.hpp"
+
+namespace sfc::pkt {
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+TEST(Pcap, WritesValidFile) {
+  const std::string path = "/tmp/ftc_pcap_test.pcap";
+  std::remove(path.c_str());
+  {
+    PcapWriter w;
+    ASSERT_TRUE(w.open(path));
+    EXPECT_TRUE(w.is_open());
+    Packet p;
+    PacketBuilder(p).udp(FlowKey{1, 2, 3, 4, Ipv4Header::kProtoUdp}, 128);
+    p.anno().ingress_ns = 1'234'567'890'123ull;
+    EXPECT_TRUE(w.write(p));
+    EXPECT_TRUE(w.write(p, 2'000'000'000ull));
+    EXPECT_EQ(w.packets_written(), 2u);
+  }
+  const auto bytes = slurp(path);
+  // Global header (24) + 2 x (record header 16 + 128 bytes).
+  ASSERT_EQ(bytes.size(), 24u + 2 * (16 + 128));
+  // Magic + ethernet linktype.
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, bytes.data(), 4);
+  EXPECT_EQ(magic, 0xa1b2c3d4u);
+  std::uint32_t linktype = 0;
+  std::memcpy(&linktype, bytes.data() + 20, 4);
+  EXPECT_EQ(linktype, 1u);
+  // First record: timestamp from the ingress annotation.
+  std::uint32_t ts_sec = 0, incl = 0;
+  std::memcpy(&ts_sec, bytes.data() + 24, 4);
+  std::memcpy(&incl, bytes.data() + 24 + 8, 4);
+  EXPECT_EQ(ts_sec, 1234u);
+  EXPECT_EQ(incl, 128u);
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, OpenFailsOnBadPath) {
+  PcapWriter w;
+  EXPECT_FALSE(w.open("/nonexistent-dir/x.pcap"));
+  EXPECT_FALSE(w.is_open());
+  Packet p;
+  EXPECT_FALSE(w.write(p));  // No-op when closed.
+}
+
+TEST(Pcap, DoubleOpenRejected) {
+  const std::string path = "/tmp/ftc_pcap_test2.pcap";
+  PcapWriter w;
+  ASSERT_TRUE(w.open(path));
+  EXPECT_FALSE(w.open(path));
+  w.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sfc::pkt

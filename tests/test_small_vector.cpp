@@ -1,0 +1,143 @@
+// Tests for the inline-storage SmallVector used on the piggyback path.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "runtime/small_vector.hpp"
+
+namespace sfc::rt {
+namespace {
+
+TEST(SmallVector, StartsEmptyInline) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // No heap spill yet.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, SpillsToHeapAndKeepsContents) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GT(v.capacity(), 2u);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST(SmallVector, NonTrivialElements) {
+  SmallVector<std::string, 2> v;
+  v.push_back("alpha");
+  v.push_back(std::string(100, 'x'));  // Heap-allocated string.
+  v.push_back("gamma");                // Forces the spill.
+  EXPECT_EQ(v[0], "alpha");
+  EXPECT_EQ(v[1], std::string(100, 'x'));
+  EXPECT_EQ(v[2], "gamma");
+}
+
+TEST(SmallVector, CopyIsDeep) {
+  SmallVector<std::string, 2> a;
+  a.push_back("one");
+  a.push_back("two");
+  auto b = a;
+  b[0] = "changed";
+  EXPECT_EQ(a[0], "one");
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 50; ++i) a.push_back(i);
+  const int* data = a.data();
+  auto b = std::move(a);
+  EXPECT_EQ(b.data(), data);  // Heap buffer moved, not copied.
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVector, MoveInlineMovesElements) {
+  SmallVector<std::string, 4> a;
+  a.push_back("hello");
+  auto b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], "hello");
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVector, RemoveIfPreservesOrder) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  const auto removed = v.remove_if([](int x) { return x % 2 == 0; });
+  EXPECT_EQ(removed, 5u);
+  ASSERT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], static_cast<int>(2 * i + 1));
+}
+
+TEST(SmallVector, RemoveIfNothingMatches) {
+  SmallVector<int, 4> v{1, 3, 5};
+  EXPECT_EQ(v.remove_if([](int x) { return x > 100; }), 0u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(SmallVector, AppendMove) {
+  SmallVector<std::string, 2> a, b;
+  a.push_back("a1");
+  b.push_back("b1");
+  b.push_back("b2");
+  b.push_back("b3");  // b spills to heap.
+  a.append_move(std::move(b));
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[0], "a1");
+  EXPECT_EQ(a[3], "b3");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(SmallVector, EqualityElementwise) {
+  SmallVector<int, 2> a{1, 2, 3};
+  SmallVector<int, 2> b{1, 2, 3};
+  SmallVector<int, 2> c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVector, ClearRunsDestructors) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    ~Probe() {
+      if (c) ++*c;
+    }
+  };
+  SmallVector<Probe, 2> v;
+  v.emplace_back(Probe{counter});
+  v.emplace_back(Probe{counter});
+  const int before = *counter;
+  v.clear();
+  EXPECT_EQ(*counter - before, 2);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVector, PopBack) {
+  SmallVector<int, 4> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(SmallVector, SelfAssignmentSafe) {
+  SmallVector<int, 2> v{1, 2, 3};
+  auto& alias = v;
+  v = alias;
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 3);
+}
+
+}  // namespace
+}  // namespace sfc::rt

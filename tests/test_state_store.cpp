@@ -1,0 +1,225 @@
+// Unit tests for the state substrate: Bytes, StateStore, serialization.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "state/bytes.hpp"
+#include "state/state_store.hpp"
+
+namespace sfc::state {
+namespace {
+
+TEST(Bytes, DefaultIsEmpty) {
+  Bytes b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(Bytes, InlineRoundTrip) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  Bytes b(data, sizeof(data));
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(std::memcmp(b.data(), data, 5), 0);
+}
+
+TEST(Bytes, HeapRoundTrip) {
+  std::vector<std::uint8_t> big(1000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i);
+  Bytes b(big.data(), big.size());
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(std::memcmp(b.data(), big.data(), big.size()), 0);
+}
+
+TEST(Bytes, CopySemantics) {
+  Bytes a(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>("hello"), 5));
+  Bytes b = a;
+  EXPECT_EQ(a, b);
+  const std::uint8_t other[] = {9};
+  b.assign({other, 1});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(Bytes, MoveSemantics) {
+  std::vector<std::uint8_t> big(500, 0xab);
+  Bytes a(big.data(), big.size());
+  const auto* heap = a.data();
+  Bytes b = std::move(a);
+  EXPECT_EQ(b.size(), 500u);
+  EXPECT_EQ(b.data(), heap);  // Heap buffer stolen, not copied.
+}
+
+TEST(Bytes, MoveInlinePreservesContent) {
+  const std::uint8_t data[] = {7, 8, 9};
+  Bytes a(data, 3);
+  Bytes b = std::move(a);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.data()[2], 9);
+}
+
+TEST(Bytes, TypedAccess) {
+  const std::uint64_t v = 0xdeadbeefcafef00dULL;
+  Bytes b = Bytes::of(v);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.as<std::uint64_t>(), v);
+  EXPECT_EQ(b.as<std::uint32_t>(), 0u);  // Size mismatch yields default.
+}
+
+TEST(Bytes, ReassignShrinkGrow) {
+  Bytes b;
+  std::vector<std::uint8_t> big(200, 1);
+  b.assign({big.data(), big.size()});
+  EXPECT_EQ(b.size(), 200u);
+  const std::uint8_t small[] = {2};
+  b.assign({small, 1});
+  EXPECT_EQ(b.size(), 1u);
+  b.assign({big.data(), big.size()});
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.data()[199], 1);
+}
+
+TEST(StateStore, PartitionOfIsStableAndInRange) {
+  StateStore a(16), b(16);
+  for (Key k = 0; k < 1000; ++k) {
+    EXPECT_EQ(a.partition_of(k), b.partition_of(k));
+    EXPECT_LT(a.partition_of(k), 16u);
+  }
+}
+
+TEST(StateStore, PartitioningSpreadsKeys) {
+  StateStore s(16);
+  std::vector<int> counts(16, 0);
+  for (Key k = 0; k < 16000; ++k) ++counts[s.partition_of(k)];
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(StateStore, GetPutEraseLocked) {
+  StateStore s(4);
+  const Key k = 42;
+  auto& lock = s.partition_lock(s.partition_of(k));
+  auto& slot = this_thread_slot();
+
+  lock.lock_apply(&slot);
+  EXPECT_EQ(s.get_locked(k), nullptr);
+  s.put_locked(k, Bytes::of<std::uint64_t>(7));
+  ASSERT_NE(s.get_locked(k), nullptr);
+  EXPECT_EQ(s.get_locked(k)->as<std::uint64_t>(), 7u);
+  EXPECT_TRUE(s.erase_locked(k));
+  EXPECT_FALSE(s.erase_locked(k));
+  EXPECT_EQ(s.get_locked(k), nullptr);
+  lock.unlock();
+}
+
+TEST(StateStore, ApplyBatch) {
+  StateStore s(8);
+  std::vector<StateUpdate> updates;
+  for (Key k = 0; k < 100; ++k) {
+    updates.push_back({k, Bytes::of(k * 10), false});
+  }
+  s.apply(updates);
+  EXPECT_EQ(s.total_entries(), 100u);
+  EXPECT_EQ(s.get(50)->as<Key>(), 500u);
+
+  // Later updates overwrite, erases remove.
+  std::vector<StateUpdate> second{{50, Bytes::of<Key>(1), false},
+                                  {51, Bytes{}, true}};
+  s.apply(second);
+  EXPECT_EQ(s.get(50)->as<Key>(), 1u);
+  EXPECT_FALSE(s.get(51).has_value());
+  EXPECT_EQ(s.total_entries(), 99u);
+}
+
+TEST(StateStore, ApplyIsAtomicAgainstConcurrentAppliers) {
+  StateStore s(4);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        // All threads write the same pair of keys; each thread writes its
+        // own tag into both. Atomicity means a reader never sees a torn
+        // pair.
+        std::vector<StateUpdate> u{
+            {1, Bytes::of<std::uint64_t>(static_cast<std::uint64_t>(t)), false},
+            {2, Bytes::of<std::uint64_t>(static_cast<std::uint64_t>(t)), false}};
+        s.apply(u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(s.get(1)->as<std::uint64_t>(), s.get(2)->as<std::uint64_t>());
+}
+
+TEST(StateStore, SerializeDeserializeRoundTrip) {
+  StateStore a(16), b(16);
+  std::vector<StateUpdate> updates;
+  for (Key k = 0; k < 500; ++k) {
+    std::vector<std::uint8_t> value(1 + (k % 90), static_cast<std::uint8_t>(k));
+    updates.push_back({k * 7919, Bytes(value.data(), value.size()), false});
+  }
+  a.apply(updates);
+
+  std::vector<std::uint8_t> blob;
+  a.serialize(blob);
+  ASSERT_TRUE(b.deserialize(blob));
+  EXPECT_EQ(b.total_entries(), 500u);
+  for (const auto& u : updates) {
+    auto v = b.get(u.key);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, u.value);
+  }
+}
+
+TEST(StateStore, DeserializeRejectsGarbage) {
+  StateStore s(8);
+  std::vector<std::uint8_t> garbage(13, 0xff);
+  EXPECT_FALSE(s.deserialize(garbage));
+  EXPECT_EQ(s.total_entries(), 0u);
+}
+
+TEST(StateStore, DeserializeRejectsWrongPartitionCount) {
+  StateStore a(8), b(16);
+  a.apply(std::vector<StateUpdate>{{1, Bytes::of<int>(1), false}});
+  std::vector<std::uint8_t> blob;
+  a.serialize(blob);
+  EXPECT_FALSE(b.deserialize(blob));
+}
+
+TEST(StateStore, DeserializeRejectsTruncated) {
+  StateStore a(8), b(8);
+  a.apply(std::vector<StateUpdate>{{1, Bytes::of<std::uint64_t>(5), false}});
+  std::vector<std::uint8_t> blob;
+  a.serialize(blob);
+  blob.resize(blob.size() - 3);
+  EXPECT_FALSE(b.deserialize(blob));
+}
+
+TEST(StateStore, KeyOfNameIsStable) {
+  constexpr Key k1 = key_of_name("port-count");
+  constexpr Key k2 = key_of_name("port-count");
+  constexpr Key k3 = key_of_name("port-counts");
+  static_assert(k1 == k2);
+  EXPECT_EQ(k1, k2);
+  EXPECT_NE(k1, k3);
+}
+
+TEST(StateStore, ClearEmptiesEverything) {
+  StateStore s(4);
+  s.apply(std::vector<StateUpdate>{{1, Bytes::of<int>(1), false},
+                                   {2, Bytes::of<int>(2), false}});
+  EXPECT_EQ(s.total_entries(), 2u);
+  s.clear();
+  EXPECT_EQ(s.total_entries(), 0u);
+  EXPECT_FALSE(s.get(1).has_value());
+}
+
+}  // namespace
+}  // namespace sfc::state
