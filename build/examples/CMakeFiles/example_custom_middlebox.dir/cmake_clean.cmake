@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_middlebox.dir/custom_middlebox.cpp.o"
+  "CMakeFiles/example_custom_middlebox.dir/custom_middlebox.cpp.o.d"
+  "example_custom_middlebox"
+  "example_custom_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

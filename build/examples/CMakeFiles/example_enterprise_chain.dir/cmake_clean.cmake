@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_enterprise_chain.dir/enterprise_chain.cpp.o"
+  "CMakeFiles/example_enterprise_chain.dir/enterprise_chain.cpp.o.d"
+  "example_enterprise_chain"
+  "example_enterprise_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_enterprise_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failover_demo.dir/failover_demo.cpp.o"
+  "CMakeFiles/example_failover_demo.dir/failover_demo.cpp.o.d"
+  "example_failover_demo"
+  "example_failover_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failover_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

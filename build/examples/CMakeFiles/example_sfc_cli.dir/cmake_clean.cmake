@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sfc_cli.dir/sfc_cli.cpp.o"
+  "CMakeFiles/example_sfc_cli.dir/sfc_cli.cpp.o.d"
+  "example_sfc_cli"
+  "example_sfc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sfc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

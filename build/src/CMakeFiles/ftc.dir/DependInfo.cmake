@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer.cpp" "src/CMakeFiles/ftc.dir/core/buffer.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/core/buffer.cpp.o.d"
+  "/root/repo/src/core/chain.cpp" "src/CMakeFiles/ftc.dir/core/chain.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/core/chain.cpp.o.d"
+  "/root/repo/src/core/nf_node.cpp" "src/CMakeFiles/ftc.dir/core/nf_node.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/core/nf_node.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/ftc.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/piggyback.cpp" "src/CMakeFiles/ftc.dir/core/piggyback.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/core/piggyback.cpp.o.d"
+  "/root/repo/src/core/stores.cpp" "src/CMakeFiles/ftc.dir/core/stores.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/core/stores.cpp.o.d"
+  "/root/repo/src/ftmb/ftmb.cpp" "src/CMakeFiles/ftc.dir/ftmb/ftmb.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/ftmb/ftmb.cpp.o.d"
+  "/root/repo/src/mbox/gen.cpp" "src/CMakeFiles/ftc.dir/mbox/gen.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/mbox/gen.cpp.o.d"
+  "/root/repo/src/mbox/monitor.cpp" "src/CMakeFiles/ftc.dir/mbox/monitor.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/mbox/monitor.cpp.o.d"
+  "/root/repo/src/mbox/nat.cpp" "src/CMakeFiles/ftc.dir/mbox/nat.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/mbox/nat.cpp.o.d"
+  "/root/repo/src/net/control.cpp" "src/CMakeFiles/ftc.dir/net/control.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/net/control.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/ftc.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/net/link.cpp.o.d"
+  "/root/repo/src/orch/orchestrator.cpp" "src/CMakeFiles/ftc.dir/orch/orchestrator.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/orch/orchestrator.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/CMakeFiles/ftc.dir/packet/headers.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/packet/headers.cpp.o.d"
+  "/root/repo/src/packet/packet_io.cpp" "src/CMakeFiles/ftc.dir/packet/packet_io.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/packet/packet_io.cpp.o.d"
+  "/root/repo/src/packet/packet_pool.cpp" "src/CMakeFiles/ftc.dir/packet/packet_pool.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/packet/packet_pool.cpp.o.d"
+  "/root/repo/src/packet/pcap.cpp" "src/CMakeFiles/ftc.dir/packet/pcap.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/packet/pcap.cpp.o.d"
+  "/root/repo/src/runtime/clock.cpp" "src/CMakeFiles/ftc.dir/runtime/clock.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/runtime/clock.cpp.o.d"
+  "/root/repo/src/runtime/histogram.cpp" "src/CMakeFiles/ftc.dir/runtime/histogram.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/runtime/histogram.cpp.o.d"
+  "/root/repo/src/runtime/logging.cpp" "src/CMakeFiles/ftc.dir/runtime/logging.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/runtime/logging.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/CMakeFiles/ftc.dir/runtime/worker.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/runtime/worker.cpp.o.d"
+  "/root/repo/src/state/partition_lock.cpp" "src/CMakeFiles/ftc.dir/state/partition_lock.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/state/partition_lock.cpp.o.d"
+  "/root/repo/src/state/state_store.cpp" "src/CMakeFiles/ftc.dir/state/state_store.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/state/state_store.cpp.o.d"
+  "/root/repo/src/state/txn.cpp" "src/CMakeFiles/ftc.dir/state/txn.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/state/txn.cpp.o.d"
+  "/root/repo/src/tgen/traffic.cpp" "src/CMakeFiles/ftc.dir/tgen/traffic.cpp.o" "gcc" "src/CMakeFiles/ftc.dir/tgen/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_applier.cpp" "tests/CMakeFiles/ftc_tests.dir/test_applier.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_applier.cpp.o.d"
+  "/root/repo/tests/test_buffer_forwarder.cpp" "tests/CMakeFiles/ftc_tests.dir/test_buffer_forwarder.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_buffer_forwarder.cpp.o.d"
+  "/root/repo/tests/test_chain.cpp" "tests/CMakeFiles/ftc_tests.dir/test_chain.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_chain.cpp.o.d"
+  "/root/repo/tests/test_chain_sweep.cpp" "tests/CMakeFiles/ftc_tests.dir/test_chain_sweep.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_chain_sweep.cpp.o.d"
+  "/root/repo/tests/test_mbox.cpp" "tests/CMakeFiles/ftc_tests.dir/test_mbox.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_mbox.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/ftc_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/ftc_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_pcap.cpp" "tests/CMakeFiles/ftc_tests.dir/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_pcap.cpp.o.d"
+  "/root/repo/tests/test_piggyback.cpp" "tests/CMakeFiles/ftc_tests.dir/test_piggyback.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_piggyback.cpp.o.d"
+  "/root/repo/tests/test_recovery.cpp" "tests/CMakeFiles/ftc_tests.dir/test_recovery.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_recovery.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/ftc_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_small_vector.cpp" "tests/CMakeFiles/ftc_tests.dir/test_small_vector.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_small_vector.cpp.o.d"
+  "/root/repo/tests/test_state_store.cpp" "tests/CMakeFiles/ftc_tests.dir/test_state_store.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_state_store.cpp.o.d"
+  "/root/repo/tests/test_txn.cpp" "tests/CMakeFiles/ftc_tests.dir/test_txn.cpp.o" "gcc" "tests/CMakeFiles/ftc_tests.dir/test_txn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ftc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

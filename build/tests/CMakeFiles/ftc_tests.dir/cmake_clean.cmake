@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftc_tests.dir/test_applier.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_applier.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_buffer_forwarder.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_buffer_forwarder.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_chain.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_chain.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_chain_sweep.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_chain_sweep.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_mbox.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_mbox.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_net.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_net.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_packet.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_packet.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_pcap.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_pcap.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_piggyback.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_piggyback.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_recovery.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_recovery.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_runtime.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_runtime.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_small_vector.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_small_vector.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_state_store.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_state_store.cpp.o.d"
+  "CMakeFiles/ftc_tests.dir/test_txn.cpp.o"
+  "CMakeFiles/ftc_tests.dir/test_txn.cpp.o.d"
+  "ftc_tests"
+  "ftc_tests.pdb"
+  "ftc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
