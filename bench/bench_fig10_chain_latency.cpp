@@ -18,6 +18,8 @@ int main() {
   const double rate_pps = 20'000.0;  // Sustainable by all systems here.
 
   double mean_us[3][4] = {};
+  auto report = make_report("fig10_chain_latency");
+  report.meta("middlebox", "monitor").meta("rate_pps", rate_pps);
   std::printf("%-14s", "system");
   for (auto n : lengths) std::printf("    Ch-%zu", n);
   std::printf("   (mean latency, us @ %.0f kpps)\n", rate_pps / 1000);
@@ -32,6 +34,9 @@ int main() {
       const auto r = measure_latency(chain, w, rate_pps);
       chain.stop();
       mean_us[mi][li] = r.mean_latency_us();
+      report.metric("mean_latency_us", r.mean_latency_us(),
+                    {{"system", mode_name(modes[mi])},
+                     {"chain_len", std::to_string(lengths[li])}});
       std::printf("  %6.1f", r.mean_latency_us());
     }
     std::printf("\n");
@@ -64,5 +69,7 @@ int main() {
   std::printf("note: absolute per-hop latency here is scheduler-dominated "
               "(~ms); the paper's us-scale\nFTC-vs-FTMB ordering is not "
               "observable at this granularity (see EXPERIMENTS.md).\n");
+  report.shape_check(ok);
+  finish_report(report);
   return ok ? 0 : 1;
 }

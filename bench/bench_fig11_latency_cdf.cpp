@@ -18,6 +18,8 @@ int main() {
   const double rate_pps = 20'000.0;
 
   double p50s[4] = {};
+  auto report = make_report("fig11_latency_cdf");
+  report.meta("chain", "ch3-monitor").meta("rate_pps", rate_pps);
   std::printf("%-14s %8s %8s %8s %8s %8s   (us)\n", "system", "min", "p50",
               "p90", "p99", "p99.9");
   rt::Histogram hists[4];
@@ -29,6 +31,8 @@ int main() {
     const auto r = measure_latency(chain, w, rate_pps);
     chain.stop();
     hists[mi] = r.latency;
+    report.metric_hist("latency_ns", r.latency,
+                       {{"system", mode_name(modes[mi])}});
     p50s[mi] = static_cast<double>(r.latency.p50()) / 1000.0;
     std::printf("%-14s %8.1f %8.1f %8.1f %8.1f %8.1f\n", mode_name(modes[mi]),
                 r.latency.min() / 1000.0, r.latency.p50() / 1000.0,
@@ -59,8 +63,12 @@ int main() {
       static_cast<double>(hists[3].p999()) / std::max<double>(1, hists[3].p50());
   std::printf("\ntail spread p99.9/p50: FTC %.1fx vs FTMB+Snapshot %.1fx\n",
               ftc_spread, snap_spread);
+  report.metric("ftc_tail_spread", ftc_spread);
+  report.metric("snapshot_tail_spread", snap_spread);
   const bool ok = ftc_spread < snap_spread;
   std::printf("shape check (FTC tail tight; snapshotting spikes): %s\n",
               ok ? "yes" : "NO");
+  report.shape_check(ok);
+  finish_report(report);
   return ok ? 0 : 1;
 }

@@ -16,6 +16,8 @@ int main() {
 
   const std::uint32_t factors[] = {2, 3, 4, 5};  // f+1 as the paper plots.
 
+  auto report = make_report("fig12_repl_factor");
+  report.meta("chain", "ch5-monitor");
   std::printf("%-8s %12s %16s\n", "f+1", "tput (Mpps)", "latency (us)");
   double tputs[4] = {}, lats[4] = {};
   for (std::size_t i = 0; i < 4; ++i) {
@@ -37,6 +39,10 @@ int main() {
       lats[i] = measure_latency(chain, w, 20'000.0).mean_latency_us();
       chain.stop();
     }
+    report.metric("pipeline_mpps", tputs[i],
+                  {{"replicas", std::to_string(factors[i])}});
+    report.metric("mean_latency_us", lats[i],
+                  {{"replicas", std::to_string(factors[i])}});
     std::printf("%-8u %12.3f %16.1f\n", factors[i], tputs[i], lats[i]);
   }
 
@@ -51,9 +57,13 @@ int main() {
   // message instead of hosting extra replicas. Our per-log apply is
   // costlier than the paper's in-place copy, so the margin is wider than
   // their ~3%.
+  report.metric("tput_loss_f1_to_f4", tput_loss);
+  report.metric("latency_delta_us_f1_to_f4", lat_delta);
   const bool ok = tputs[3] > 0 && tput_loss < 0.6;
   std::printf("shape check (tolerating 4 failures costs <60%%, not the 2.5x "
               "of dedicated replicas): %s\n",
               ok ? "yes" : "NO");
+  report.shape_check(ok);
+  finish_report(report);
   return ok ? 0 : 1;
 }

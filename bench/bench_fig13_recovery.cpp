@@ -38,6 +38,8 @@ int main() {
   std::printf("%-12s %16s %18s %14s %12s\n", "middlebox", "init (ms)",
               "state rec (ms)", "reroute (ms)", "total (ms)");
 
+  auto report = make_report("fig13_recovery");
+  report.meta("chain", "ch-rec").meta("bandwidth_gbps", 1.0);
   bool ordering_ok = true;
   double init_ms[3] = {};
   for (const auto& site : kSites) {
@@ -83,10 +85,17 @@ int main() {
 
     if (reports.empty() || !reports[0].success) {
       std::printf("%-12s RECOVERY FAILED\n", site.name);
+      report.shape_check(false);
+      finish_report(report);
       return 1;
     }
     const auto& r = reports[0];
     init_ms[site.position] = r.initialization_ns / 1e6;
+    const obs::Labels site_labels{{"middlebox", site.name}};
+    report.metric("initialization_ms", r.initialization_ns / 1e6, site_labels);
+    report.metric("state_recovery_ms", r.state_recovery_ns / 1e6, site_labels);
+    report.metric("rerouting_ms", r.rerouting_ns / 1e6, site_labels);
+    report.metric("total_ms", r.total_ns / 1e6, site_labels);
     std::printf("%-12s %16.1f %18.1f %14.3f %12.1f\n", site.name,
                 r.initialization_ns / 1e6, r.state_recovery_ns / 1e6,
                 r.rerouting_ns / 1e6, r.total_ns / 1e6);
@@ -98,5 +107,7 @@ int main() {
   std::printf("\nshape check (init delay ordering Firewall < SimpleNAT < "
               "Monitor): %s\n",
               ordering_ok ? "yes" : "NO");
+  report.shape_check(ordering_ok);
+  finish_report(report);
   return ordering_ok ? 0 : 1;
 }

@@ -16,6 +16,8 @@ int main() {
 
   const std::size_t packet_sizes[] = {128, 256, 512};
   const std::uint32_t state_sizes[] = {16, 64, 128, 256};
+  auto report = make_report("fig5_state_size");
+  report.meta("middlebox", "gen").meta("threads", 1);
 
   std::printf("%-12s", "pkt \\ state");
   for (auto s : state_sizes) std::printf("  %6uB", s);
@@ -36,6 +38,9 @@ int main() {
       chain.stop();
       if (base_mpps == 0) base_mpps = r.delivered_mpps;
       rel.push_back(base_mpps > 0 ? r.delivered_mpps / base_mpps : 0);
+      report.metric("throughput_mpps", r.delivered_mpps,
+                    {{"pkt_bytes", std::to_string(pkt_size)},
+                     {"state_bytes", std::to_string(state_size)}});
       std::printf("  %6.3f", r.delivered_mpps);
     }
     std::printf("   rel:");
@@ -62,6 +67,10 @@ int main() {
     const auto r = measure_latency(chain, w, 20'000.0);
     chain.stop();
     if (base_lat == 0) base_lat = r.mean_latency_us();
+    report.metric("mean_latency_us", r.mean_latency_us(),
+                  {{"state_bytes", std::to_string(state_size)}});
+    report.metric("p99_latency_us", r.p99_latency_us(),
+                  {{"state_bytes", std::to_string(state_size)}});
     std::printf("  state %4uB: mean %7.1f us (p99 %7.1f us) delta %+6.1f us\n",
                 state_size, r.mean_latency_us(), r.p99_latency_us(),
                 r.mean_latency_us() - base_lat);
@@ -70,5 +79,7 @@ int main() {
   std::printf("shape check (smooth, modest decline with state size; <=40%% "
               "at 256B): %s\n",
               shape_ok ? "yes" : "NO");
+  report.shape_check(shape_ok);
+  finish_report(report);
   return shape_ok ? 0 : 1;
 }

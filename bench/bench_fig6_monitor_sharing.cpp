@@ -19,6 +19,8 @@ int main() {
   const ChainMode modes[] = {ChainMode::kNf, ChainMode::kFtc, ChainMode::kFtmb};
 
   double results[3][4] = {};
+  auto report = make_report("fig6_monitor_sharing");
+  report.meta("middlebox", "monitor").meta("threads", 8);
   std::printf("pipeline throughput = 1/(slowest server stage); see DESIGN.md\n");
   std::printf("%-14s", "system");
   for (auto s : sharing_levels) std::printf("  share=%u", s);
@@ -34,6 +36,9 @@ int main() {
       w.num_flows = 256;
       const auto r = measure_pipeline_tput(chain, w);
       results[mi][si] = r.pipeline_mpps;
+      report.metric("pipeline_mpps", r.pipeline_mpps,
+                    {{"system", mode_name(modes[mi])},
+                     {"sharing", std::to_string(sharing_levels[si])}});
       std::printf("  %7.3f", r.pipeline_mpps);
       std::fflush(stdout);
     }
@@ -61,5 +66,7 @@ int main() {
   std::printf("note: with 8 worker threads timesharing one core, lock-wait "
               "time pollutes per-stage cost\nsamples; the FTC-vs-FTMB "
               "margin is not reproducible here (see EXPERIMENTS.md).\n");
+  report.shape_check(ok);
+  finish_report(report);
   return ok ? 0 : 1;
 }

@@ -18,6 +18,8 @@ int main() {
   const ChainMode modes[] = {ChainMode::kNf, ChainMode::kFtc, ChainMode::kFtmb};
 
   double results[3][4] = {};
+  auto report = make_report("fig7_mazunat_threads");
+  report.meta("middlebox", "mazunat");
   std::printf("pipeline throughput = 1/(slowest server stage); see DESIGN.md\n");
   std::printf("%-14s", "system");
   for (auto t : thread_counts) std::printf("  thr=%zu  ", t);
@@ -32,6 +34,9 @@ int main() {
       w.num_flows = 512;  // Mostly fast-path (read-only) after warmup.
       const auto r = measure_pipeline_tput(chain, w);
       results[mi][ti] = r.pipeline_mpps;
+      report.metric("pipeline_mpps", r.pipeline_mpps,
+                    {{"system", mode_name(modes[mi])},
+                     {"threads", std::to_string(thread_counts[ti])}});
       std::printf("  %7.3f", r.pipeline_mpps);
       std::fflush(stdout);
     }
@@ -59,5 +64,7 @@ int main() {
               "here (in-memory links underprice\nFTMB's per-PAL messages; "
               "our piggyback path lacks the paper's in-place "
               "optimization). See EXPERIMENTS.md.\n");
+  report.shape_check(ok);
+  finish_report(report);
   return ok ? 0 : 1;
 }

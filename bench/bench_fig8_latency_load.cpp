@@ -15,11 +15,12 @@ namespace {
 
 struct Subfigure {
   const char* name;
+  const char* key;  ///< Short label for the JSON report ("a"/"b"/"c").
   FtcNode::MboxFactory mbox;
   std::size_t threads;
 };
 
-void run_subfigure(const Subfigure& sub) {
+void run_subfigure(const Subfigure& sub, obs::Report& report) {
   std::printf("\n--- %s ---\n", sub.name);
   // Probe each system's max rate first, then sweep fractions of it.
   const ChainMode modes[] = {ChainMode::kNf, ChainMode::kFtc, ChainMode::kFtmb};
@@ -41,6 +42,8 @@ void run_subfigure(const Subfigure& sub) {
       chain.stop();
     }
     std::printf("%-14s %9.3f", mode_name(mode), max_pps * 1e-6);
+    report.metric("max_mpps", max_pps * 1e-6,
+                  {{"subfigure", sub.key}, {"system", mode_name(mode)}});
     for (const double frac : fractions) {
       auto spec = base_spec(mode, {sub.mbox}, sub.threads);
       ChainRuntime chain(spec);
@@ -49,6 +52,10 @@ void run_subfigure(const Subfigure& sub) {
       w.num_flows = 256;
       const auto r = measure_latency(chain, w, max_pps * frac);
       chain.stop();
+      report.metric("mean_latency_us", r.mean_latency_us(),
+                    {{"subfigure", sub.key},
+                     {"system", mode_name(mode)},
+                     {"load_pct", std::to_string(static_cast<int>(frac * 100))}});
       std::printf("  %6.0f", r.mean_latency_us());
     }
     std::printf("\n");
@@ -62,11 +69,14 @@ int main() {
                "flat sub-ms latency until saturation, then spikes; FTC "
                "close to NF, below FTMB");
 
-  run_subfigure({"(a) Monitor, sharing level 8, 8 threads", monitor(8), 8});
-  run_subfigure({"(b) MazuNAT, 1 thread", mazu_nat(), 1});
-  run_subfigure({"(c) MazuNAT, 8 threads", mazu_nat(), 8});
+  auto report = make_report("fig8_latency_load");
+  run_subfigure(
+      {"(a) Monitor, sharing level 8, 8 threads", "a", monitor(8), 8}, report);
+  run_subfigure({"(b) MazuNAT, 1 thread", "b", mazu_nat(), 1}, report);
+  run_subfigure({"(c) MazuNAT, 8 threads", "c", mazu_nat(), 8}, report);
 
   std::printf("\n(read each row left-to-right: latency should stay in the "
               "same order of magnitude until the load nears max)\n");
+  finish_report(report);
   return 0;
 }

@@ -28,6 +28,9 @@ int main() {
   const std::size_t threads = 1;
 
   double results[4][4] = {};
+  auto report = make_report("fig9_chain_tput");
+  report.meta("middlebox", "monitor").meta("threads",
+                                           static_cast<std::uint64_t>(threads));
   std::printf("pipeline throughput = 1/(slowest server stage); see DESIGN.md\n");
   std::printf("%-16s", "system");
   for (auto n : lengths) std::printf("   Ch-%zu ", n);
@@ -42,6 +45,9 @@ int main() {
       w.num_flows = 256;
       const auto r = measure_pipeline_tput(chain, w, 60'000.0);
       results[mi][li] = r.pipeline_mpps;
+      report.metric("pipeline_mpps", r.pipeline_mpps,
+                    {{"system", mode_name(modes[mi])},
+                     {"chain_len", std::to_string(lengths[li])}});
       std::printf("  %6.3f", r.pipeline_mpps);
       std::fflush(stdout);
     }
@@ -57,6 +63,8 @@ int main() {
               "across the eval)\n",
               results[2][3] > 0 ? results[1][3] / results[2][3] : 0);
 
+  report.metric("ftc_drop_ch2_to_ch5", ftc_drop);
+  report.metric("snapshot_drop_ch2_to_ch5", snap_drop);
   const bool ok = results[1][3] > results[3][3] &&  // FTC beats +Snapshot.
                   snap_drop > ftc_drop + 0.10;      // Snapshot scales far worse.
   std::printf("shape check (FTC nearly flat with chain length while "
@@ -69,5 +77,7 @@ int main() {
               "and our piggyback handling costs ~800 cycles/hop vs the "
               "paper's in-place 58+100 (Table 2).\n"
               "See EXPERIMENTS.md for the full analysis.\n");
+  report.shape_check(ok);
+  finish_report(report);
   return ok ? 0 : 1;
 }

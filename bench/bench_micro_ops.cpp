@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/piggyback.hpp"
+#include "obs/export.hpp"
 #include "core/stores.hpp"
 #include "packet/packet_io.hpp"
 #include "packet/packet_pool.hpp"
@@ -121,6 +122,42 @@ void BM_PoolAllocFree(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolAllocFree);
 
+// Console reporter that also captures per-benchmark timings so the run
+// can be written out as BENCH_micro_ops.json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      captured_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& captured() const {
+    return captured_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with a capturing reporter + JSON report.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  obs::Report report("micro_ops");
+  report.meta("harness", "google-benchmark");
+  for (const auto& [name, real_time_ns] : reporter.captured()) {
+    report.metric("real_time_ns", real_time_ns, {{"benchmark", name}});
+  }
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("results: %s\n", path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

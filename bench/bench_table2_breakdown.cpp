@@ -132,5 +132,15 @@ int main() {
   std::printf("\nshape check (locking within 3x of paper\x27s 152 cycles; FTC components "
               "within one order of transaction cost): %s\n",
               locking_ok && same_order ? "yes" : "NO");
+
+  auto report = make_report("table2_breakdown");
+  report.meta("middlebox", "mazunat").meta("iters", kIters);
+  report.metric("processing_cycles", processing_cycles);
+  report.metric("locking_cycles", locking_cycles);
+  report.metric("piggyback_cycles", piggyback_cycles);
+  report.metric("forwarder_cycles", forwarder_cycles);
+  report.metric("buffer_cycles", buffer_cycles);
+  report.shape_check(locking_ok && same_order);
+  finish_report(report);
   return locking_ok && same_order ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 
 #include "core/chain.hpp"
 #include "mbox/firewall.hpp"
+#include "obs/export.hpp"
 #include "mbox/gen.hpp"
 #include "mbox/monitor.hpp"
 #include "mbox/nat.hpp"
@@ -196,6 +197,27 @@ inline TputResult measure_pipeline_tput(ChainRuntime& chain,
       measure_tput(chain, workload).delivered_mpps;  // Saturated run.
   chain.stop();
   return out;
+}
+
+/// Machine-readable result file seeded with the run parameters every
+/// bench shares. Callers add their headline metrics + shape check, then
+/// call finish_report().
+inline obs::Report make_report(const char* name) {
+  obs::Report report(name);
+  report.meta("point_seconds", point_seconds());
+  report.meta("warmup_seconds", warmup_seconds());
+  return report;
+}
+
+/// Writes the report (BENCH_<name>.json, honoring $FTC_BENCH_JSON_DIR)
+/// and tells the user where it went.
+inline void finish_report(const obs::Report& report) {
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "warning: failed to write bench JSON report\n");
+  } else {
+    std::printf("results: %s\n", path.c_str());
+  }
 }
 
 /// Header block every bench prints.

@@ -18,6 +18,7 @@
 
 #include "core/chain.hpp"
 #include "mbox/firewall.hpp"
+#include "obs/export.hpp"
 #include "mbox/gen.hpp"
 #include "mbox/load_balancer.hpp"
 #include "mbox/monitor.hpp"
@@ -42,6 +43,9 @@ struct Options {
   int fail_position{-1};
   double fail_after_s{0.5};
   std::string pcap_path;
+  bool stats{false};
+  double stats_interval_s{1.0};
+  std::string stats_json_path;
 };
 
 void usage() {
@@ -58,7 +62,11 @@ void usage() {
       "  --frame BYTES       frame size (default 256)\n"
       "  --fail POS          crash the server at chain position POS mid-run\n"
       "  --fail-after SEC    when to crash it (default 0.5)\n"
-      "  --pcap FILE         capture chain egress to a pcap file");
+      "  --pcap FILE         capture chain egress to a pcap file\n"
+      "  stats | --stats     print live metric snapshots during the run and\n"
+      "                      a full registry dump at the end\n"
+      "  --stats-interval S  seconds between live snapshots (default 1)\n"
+      "  --stats-json FILE   periodically dump the registry to FILE as JSON");
 }
 
 ftc::FtcNode::MboxFactory parse_mbox(const std::string& spec, bool& ok) {
@@ -170,6 +178,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next("--pcap");
       if (v == nullptr) return false;
       opt.pcap_path = v;
+    } else if (arg == "stats" || arg == "--stats") {
+      opt.stats = true;
+    } else if (arg == "--stats-interval") {
+      const char* v = next("--stats-interval");
+      if (v == nullptr) return false;
+      opt.stats_interval_s = std::atof(v);
+      if (opt.stats_interval_s <= 0) opt.stats_interval_s = 1.0;
+      opt.stats = true;
+    } else if (arg == "--stats-json") {
+      const char* v = next("--stats-json");
+      if (v == nullptr) return false;
+      opt.stats_json_path = v;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage();
@@ -241,10 +261,24 @@ int main(int argc, char** argv) {
   }
   source.start();
 
+  std::unique_ptr<obs::Exporter> exporter;
+  if (!opt.stats_json_path.empty()) {
+    exporter = std::make_unique<obs::Exporter>(
+        chain.registry(), opt.stats_json_path,
+        static_cast<std::uint64_t>(opt.stats_interval_s * 1e9));
+  }
+
   const auto t0 = rt::now_ns();
   bool failed_yet = false;
+  std::uint64_t next_stats_ns =
+      rt::now_ns() + static_cast<std::uint64_t>(opt.stats_interval_s * 1e9);
   while (rt::now_ns() - t0 < static_cast<std::uint64_t>(opt.duration_s * 1e9)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (opt.stats && rt::now_ns() >= next_stats_ns) {
+      next_stats_ns += static_cast<std::uint64_t>(opt.stats_interval_s * 1e9);
+      std::printf("--- stats @ %.2fs ---\n%s", (rt::now_ns() - t0) / 1e9,
+                  obs::to_text(chain.registry()).c_str());
+    }
     if (opt.fail_position >= 0 && !failed_yet &&
         rt::now_ns() - t0 >
             static_cast<std::uint64_t>(opt.fail_after_s * 1e9)) {
@@ -291,5 +325,14 @@ int main(int argc, char** argv) {
   sink.stop();
   orchestrator.stop();
   chain.stop();
+  if (exporter) {
+    exporter->stop();
+    std::printf("stats json: %s (%llu dumps)\n", opt.stats_json_path.c_str(),
+                static_cast<unsigned long long>(exporter->dumps()));
+  }
+  if (opt.stats) {
+    std::printf("--- final registry snapshot ---\n%s",
+                obs::to_text(chain.registry()).c_str());
+  }
   return 0;
 }

@@ -4,6 +4,31 @@
 
 namespace sfc::ftc {
 
+EgressBuffer::EgressBuffer(pkt::PacketPool& pool, net::Link& egress,
+                           FeedbackChannel& feedback, obs::Registry* registry)
+    : pool_(pool), egress_(egress), feedback_(feedback) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry = own_registry_.get();
+  }
+  submitted_ = &registry->counter("buffer.submitted");
+  released_ = &registry->counter("buffer.released");
+  released_immediately_ = &registry->counter("buffer.released_immediately");
+  control_consumed_ = &registry->counter("buffer.control_consumed");
+  held_gauge_ = &registry->gauge("buffer.held");
+  high_water_ = &registry->gauge("buffer.high_water");
+}
+
+BufferStats EgressBuffer::stats() const {
+  BufferStats s;
+  s.submitted = submitted_->value();
+  s.released = released_->value();
+  s.released_immediately = released_immediately_->value();
+  s.control_consumed = control_consumed_->value();
+  s.high_water = static_cast<std::uint64_t>(high_water_->value());
+  return s;
+}
+
 bool EgressBuffer::is_covered(const Held& held) const {
   for (const auto& pending : held.pending) {
     const auto it = known_commits_.find(pending.mbox);
@@ -19,7 +44,7 @@ void EgressBuffer::release_locked(Held& held) {
   // lose a released packet.
   egress_.send_blocking(held.packet);
   held.packet = nullptr;
-  ++stats_.released;
+  released_->inc();
 }
 
 void EgressBuffer::absorb(std::span<const CommitVector> commits) {
@@ -32,7 +57,7 @@ void EgressBuffer::absorb(std::span<const CommitVector> commits) {
 
 void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
   std::unique_lock lock(mutex_);
-  ++stats_.submitted;
+  submitted_->inc();
 
   // Absorb the commit knowledge this packet carries.
   for (const auto& c : msg.commits) {
@@ -41,7 +66,7 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
   }
 
   if (p->anno().is_control) {
-    ++stats_.control_consumed;
+    control_consumed_->inc();
     pool_.free_raw(p);
   } else {
     Held held{p, {}};
@@ -53,11 +78,11 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
       // Nothing outstanding (e.g. read-only path all along the chain, or
       // commits already caught up): release without holding.
       release_locked(held);
-      ++stats_.released_immediately;
+      released_immediately_->inc();
     } else {
       held_.push_back(std::move(held));
-      stats_.high_water = std::max<std::uint64_t>(stats_.high_water,
-                                                  held_.size());
+      high_water_->set(std::max<std::int64_t>(
+          high_water_->value(), static_cast<std::int64_t>(held_.size())));
     }
   }
 
@@ -81,6 +106,7 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
       }
     }
   }
+  held_gauge_->set(static_cast<std::int64_t>(held_.size()));
   lock.unlock();
 
   // Commit vectors end their journey here (tail -> ... -> buffer, paper
@@ -102,6 +128,7 @@ void EgressBuffer::release_eligible() {
       ++it;
     }
   }
+  held_gauge_->set(static_cast<std::int64_t>(held_.size()));
 }
 
 }  // namespace sfc::ftc

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "core/forwarder.hpp"
 #include "core/piggyback.hpp"
 #include "net/link.hpp"
+#include "obs/registry.hpp"
 
 namespace sfc::ftc {
 
@@ -30,9 +32,9 @@ struct BufferStats {
 class EgressBuffer : rt::NonCopyable {
  public:
   /// @param egress  Link carrying released packets out of the chain.
+  /// @param registry Metrics sink; a private registry is used when null.
   EgressBuffer(pkt::PacketPool& pool, net::Link& egress,
-               FeedbackChannel& feedback)
-      : pool_(pool), egress_(egress), feedback_(feedback) {}
+               FeedbackChannel& feedback, obs::Registry* registry = nullptr);
 
   /// Accepts a packet at the end of the chain with its final piggyback
   /// message. Consumes both. Control (propagating) packets deliver their
@@ -47,10 +49,7 @@ class EgressBuffer : rt::NonCopyable {
   /// submit; exposed for drain paths).
   void release_eligible();
 
-  BufferStats stats() const {
-    std::lock_guard lock(mutex_);
-    return stats_;
-  }
+  BufferStats stats() const;
 
   std::size_t held_count() const {
     std::lock_guard lock(mutex_);
@@ -78,8 +77,15 @@ class EgressBuffer : rt::NonCopyable {
   mutable std::mutex mutex_;
   std::deque<Held> held_;
   std::unordered_map<MboxId, MaxVector> known_commits_;
-  BufferStats stats_;
   std::uint64_t full_scans_{0};
+
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Counter* submitted_;
+  obs::Counter* released_;
+  obs::Counter* released_immediately_;
+  obs::Counter* control_consumed_;
+  obs::Gauge* held_gauge_;
+  obs::Gauge* high_water_;
 };
 
 }  // namespace sfc::ftc

@@ -40,13 +40,19 @@ FtcNode::MboxFactory ChainRuntime::factory_for(std::uint32_t position) const {
 
 void ChainRuntime::build_ftc() {
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    links_.push_back(std::make_unique<net::Link>(*pool_, spec_.cfg.link));
+    links_.push_back(std::make_unique<net::Link>(*pool_, spec_.cfg.link,
+                                                 &registry_,
+                                                 "seg" + std::to_string(i)));
   }
-  egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{});
+  egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{},
+                                             &registry_, "egress");
   feedback_ = std::make_unique<FeedbackChannel>();
   forwarder_ = std::make_unique<Forwarder>(*feedback_, spec_.cfg);
   buffer_ = std::make_unique<EgressBuffer>(*internal_pool_, *egress_link_,
-                                           *feedback_);
+                                           *feedback_, &registry_);
+  registry_.gauge_fn("forwarder.feedback_pending", {{"node", "fwd"}}, [this] {
+    return static_cast<double>(feedback_->pending_approx());
+  });
 
   ftc_at_.resize(ring_size_, nullptr);
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
@@ -58,6 +64,7 @@ void ChainRuntime::build_ftc() {
     params.cfg = &spec_.cfg;
     params.pool = internal_pool_.get();
     params.ctrl = &ctrl_;
+    params.registry = &registry_;
     params.mbox_factory = factory_for(i);
     auto node = std::make_unique<FtcNode>(params);
     node->attach_data_path(links_[i].get(),
@@ -74,9 +81,12 @@ void ChainRuntime::build_ftc() {
 
 void ChainRuntime::build_nf() {
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    links_.push_back(std::make_unique<net::Link>(*pool_, spec_.cfg.link));
+    links_.push_back(std::make_unique<net::Link>(*pool_, spec_.cfg.link,
+                                                 &registry_,
+                                                 "seg" + std::to_string(i)));
   }
-  egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{});
+  egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{},
+                                             &registry_, "egress");
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
     auto node = std::make_unique<NfNode>(i, spec_.cfg, *internal_pool_,
                                          factory_for(i));
@@ -166,6 +176,7 @@ FtcNode* ChainRuntime::spawn_replacement(std::uint32_t position) {
   params.cfg = &spec_.cfg;
   params.pool = internal_pool_.get();
   params.ctrl = &ctrl_;
+  params.registry = &registry_;
   params.mbox_factory = factory_for(position);
   auto node = std::make_unique<FtcNode>(params);
   FtcNode* raw = node.get();

@@ -24,6 +24,7 @@
 #include "core/node.hpp"
 #include "ftmb/ftmb.hpp"
 #include "net/control.hpp"
+#include "obs/registry.hpp"
 
 namespace sfc::ftc {
 
@@ -50,6 +51,10 @@ class ChainRuntime : rt::NonCopyable {
   pkt::PacketPool& pool() noexcept { return *pool_; }
   pkt::PacketPool& internal_pool() noexcept { return *internal_pool_; }
   net::ControlPlane& control() noexcept { return ctrl_; }
+  /// Chain-wide metrics/trace registry: every node, link, the control
+  /// plane, the buffer, and the orchestrator register into this one.
+  obs::Registry& registry() noexcept { return registry_; }
+  const obs::Registry& registry() const noexcept { return registry_; }
   const Spec& spec() const noexcept { return spec_; }
 
   std::uint32_t num_mboxes() const noexcept {
@@ -117,7 +122,10 @@ class ChainRuntime : rt::NonCopyable {
   std::uint32_t ring_size_{0};
   std::unique_ptr<pkt::PacketPool> pool_;
   std::unique_ptr<pkt::PacketPool> internal_pool_;
-  net::ControlPlane ctrl_;
+  // Declared before every component that registers into it (and therefore
+  // destroyed after all of them).
+  obs::Registry registry_;
+  net::ControlPlane ctrl_{&registry_};
   net::NodeId next_node_id_{1};
 
   // links_[i] feeds ring position i; links_[i+1] carries its output.

@@ -49,6 +49,37 @@ FtcNode::FtcNode(Params params)
       cfg_(*params.cfg),
       pool_(*params.pool),
       ctrl_(*params.ctrl) {
+  if (params.registry != nullptr) {
+    registry_ = params.registry;
+  } else {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry_ = own_registry_.get();
+  }
+  const obs::Labels labels{{"node", std::to_string(id_)},
+                           {"pos", std::to_string(position_)}};
+  stats_.packets_processed = &registry_->counter("node.packets_processed", labels);
+  stats_.control_packets = &registry_->counter("node.control_packets", labels);
+  stats_.logs_applied = &registry_->counter("node.logs_applied", labels);
+  stats_.logs_duplicate = &registry_->counter("node.logs_duplicate", labels);
+  stats_.packets_parked = &registry_->counter("node.packets_parked", labels);
+  stats_.nacks_sent = &registry_->counter("node.nacks_sent", labels);
+  stats_.nacks_served = &registry_->counter("node.nacks_served", labels);
+  stats_.drops_filtered = &registry_->counter("node.drops_filtered", labels);
+  stats_.drops_unparseable =
+      &registry_->counter("node.drops_unparseable", labels);
+  stats_.oversize_detours =
+      &registry_->counter("node.oversize_detours", labels);
+  trace_ = &registry_->trace("node.events", labels);
+  registry_->gauge_fn("node.parked", labels, [this] {
+    return static_cast<double>(parked_count());
+  });
+  registry_->gauge_fn("node.mbox_packets", labels, [this] {
+    return static_cast<double>(meter_.packets());
+  });
+  registry_->histogram_fn("node.busy_cycles", labels, [this] {
+    std::lock_guard lock(busy_mutex_);
+    return busy_hist_;
+  });
   ctrl_.register_node(id_);
   if (position_ < num_mboxes_ && params.mbox_factory) {
     mbox_ = params.mbox_factory();
@@ -63,7 +94,12 @@ FtcNode::FtcNode(Params params)
   }
 }
 
-FtcNode::~FtcNode() { stop(); }
+FtcNode::~FtcNode() {
+  stop();
+  // The shared registry outlives this node: drop snapshot callbacks that
+  // capture `this` before the members they read are destroyed.
+  registry_->remove_matching("node", std::to_string(id_));
+}
 
 void FtcNode::attach_data_path(net::Link* in, net::Link* out) {
   in_link_.store(in);
@@ -117,6 +153,7 @@ void FtcNode::stop() {
 
 void FtcNode::fail() {
   failed_.store(true, std::memory_order_release);
+  trace_->emit(obs::Event::kFailure, id_);
   stop();
   // Crash-stop: parked packets are lost with the node.
   std::lock_guard lock(park_mutex_);
@@ -215,9 +252,9 @@ bool FtcNode::apply_logs(Work& work) {
       break;
     }
     if (offer == InOrderApplier::Offer::kApplied) {
-      stats_.logs_applied.fetch_add(1, std::memory_order_relaxed);
+      stats_.logs_applied->inc();
     } else {
-      stats_.logs_duplicate.fetch_add(1, std::memory_order_relaxed);
+      stats_.logs_duplicate->inc();
     }
   }
   if (account_cycles_) {
@@ -228,11 +265,17 @@ bool FtcNode::apply_logs(Work& work) {
 
 void FtcNode::park(Work&& work) {
   work.parked_at_ns = rt::now_ns();
+  const MboxId blocked_on = work.next_log < work.msg.logs.size()
+                                ? work.msg.logs[work.next_log].mbox
+                                : 0;
+  std::size_t depth = 0;
   {
     std::lock_guard lock(park_mutex_);
     parked_.push_back(std::move(work));
+    depth = parked_.size();
   }
-  stats_.packets_parked.fetch_add(1, std::memory_order_relaxed);
+  stats_.packets_parked->inc();
+  trace_->emit(obs::Event::kPacketParked, blocked_on, depth);
 }
 
 void FtcNode::finish_work(Work&& work) {
@@ -252,6 +295,7 @@ void FtcNode::finish_work(Work&& work) {
       if (applied != last_commit_attach_.load(std::memory_order_relaxed)) {
         last_commit_attach_.store(applied, std::memory_order_relaxed);
         msg.set_commit(tail_mbox, a->max());
+        trace_->emit(obs::Event::kCommitAttach, tail_mbox, applied);
       }
     }
   }
@@ -271,7 +315,7 @@ void FtcNode::finish_work(Work&& work) {
   if (mbox_ != nullptr && !p->anno().is_control) {
     auto parsed = pkt::parse_packet(*p);
     if (!parsed) {
-              stats_.drops_unparseable.fetch_add(1, std::memory_order_relaxed);
+      stats_.drops_unparseable->inc();
       verdict = mbox::Verdict::kDrop;
     } else {
       const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
@@ -297,16 +341,18 @@ void FtcNode::finish_work(Work&& work) {
     }
   }
 
-  if (p->anno().is_control)     stats_.control_packets.fetch_add(1, std::memory_order_relaxed); else {
+  if (p->anno().is_control) {
+    stats_.control_packets->inc();
+  } else {
     meter_.add(1, p->size());
-    stats_.packets_processed.fetch_add(1, std::memory_order_relaxed);
+    stats_.packets_processed->inc();
   }
 
   // --- Phase D: emit. ---
   if (verdict == mbox::Verdict::kDrop) {
     // A filtering middlebox must not swallow in-flight state: its head
     // emits a propagating packet carrying the message (paper §5.1).
-          stats_.drops_filtered.fetch_add(1, std::memory_order_relaxed);
+    stats_.drops_filtered->inc();
     pool_.free_raw(p);
     if (!msg.empty()) emit_propagating(std::move(msg));
     return;
@@ -344,7 +390,7 @@ void FtcNode::emit(pkt::Packet* p, PiggybackMessage&& msg) {
     // The message outgrew this packet's tailroom (paper: use jumbo
     // frames). Detour: ship the message on a dedicated propagating packet
     // and send the data packet with an empty message.
-          stats_.oversize_detours.fetch_add(1, std::memory_order_relaxed);
+    stats_.oversize_detours->inc();
     emit_propagating(std::move(msg));
     append_message(*p, PiggybackMessage{}, cfg_.num_partitions);
   }
@@ -386,7 +432,15 @@ void FtcNode::drain_parked() {
     for (auto& work : candidates) {
       const std::size_t before = work.next_log;
       if (apply_logs(work)) {
+        const bool was_parked = work.parked_at_ns != 0;
+        const MboxId unblocked = before < work.msg.logs.size()
+                                     ? work.msg.logs[before].mbox
+                                     : 0;
         finish_work(std::move(work));
+        if (was_parked) {
+          trace_->emit(obs::Event::kPacketUnparked, unblocked,
+                       still_blocked.size());
+        }
         progress = true;
       } else {
         progress = progress || work.next_log != before;
@@ -427,8 +481,10 @@ void FtcNode::check_parked_timeouts() {
     req.tag = (static_cast<std::uint64_t>(id_) << 32) | mbox;
     put_u32(req.payload, mbox);
     put_max(req.payload, a->max());
+    const net::NodeId target = req.to;
     ctrl_.send(std::move(req));
-    stats_.nacks_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_.nacks_sent->inc();
+    trace_->emit(obs::Event::kNackSent, mbox, target);
   }
 }
 
@@ -483,10 +539,13 @@ void FtcNode::handle_init(const net::Message& req) {
   ack.to = req.from;
   ack.tag = req.tag;
   ctrl_.send(std::move(ack));
+  trace_->emit(obs::Event::kRecoveryInit, sources.size());
 
   const std::uint64_t fetch_start = rt::now_ns();
   const bool ok = recover_from(sources);
   const std::uint64_t fetch_ns = rt::now_ns() - fetch_start;
+  trace_->emit(obs::Event::kRecoveryDone, ok ? 1 : 0);
+  registry_->timer("node.recovery_fetch_ns").record(fetch_ns);
 
   net::Message done;
   done.type = kRecovered;
@@ -518,9 +577,11 @@ void FtcNode::handle_nack(const net::Message& req) {
   resp.to = req.from;
   resp.tag = req.tag;
   put_u32(resp.payload, mbox);
+  const std::uint64_t shipped = logs.size();
   serialize_logs(logs, resp.payload);
   ctrl_.send(std::move(resp));
-  stats_.nacks_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.nacks_served->inc();
+  trace_->emit(obs::Event::kNackServed, mbox, shipped);
 }
 
 void FtcNode::handle_nack_resp(const net::Message& resp) {
@@ -530,9 +591,14 @@ void FtcNode::handle_nack_resp(const net::Message& resp) {
   if (!take_u32(in, mbox) || !deserialize_logs(in, logs)) return;
   InOrderApplier* a = applier(mbox);
   if (a == nullptr) return;
+  std::uint64_t applied = 0;
   for (const auto& log : logs) {
-    if (a->offer(log) == InOrderApplier::Offer::kApplied)       stats_.logs_applied.fetch_add(1, std::memory_order_relaxed);
+    if (a->offer(log) == InOrderApplier::Offer::kApplied) {
+      stats_.logs_applied->inc();
+      ++applied;
+    }
   }
+  trace_->emit(obs::Event::kNackApplied, mbox, applied);
   drain_parked();
 }
 
@@ -598,6 +664,7 @@ bool FtcNode::recover_from(
     req.tag = (static_cast<std::uint64_t>(id_) << 32) | (mbox + 1);
     put_u32(req.payload, mbox);
     ctrl_.send(std::move(req));
+    trace_->emit(obs::Event::kRecoveryFetchStart, mbox, source);
   }
 
   const std::uint64_t deadline = rt::now_ns() + timeout_ns;
@@ -622,6 +689,7 @@ bool FtcNode::recover_from(
       } else if (InOrderApplier* a = applier(mbox)) {
         f.ok = a->deserialize(in);
       }
+      trace_->emit(obs::Event::kRecoveryFetchDone, mbox, f.ok ? 1 : 0);
       break;
     }
   }
@@ -632,6 +700,7 @@ bool FtcNode::recover_from(
 }
 
 NodeStats FtcNode::stats() const { return stats_.snapshot(); }
+
 
 FtcNode::CycleBreakdown FtcNode::cycle_breakdown() const {
   CycleBreakdown b;

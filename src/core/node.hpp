@@ -29,6 +29,8 @@
 #include "mbox/middlebox.hpp"
 #include "net/control.hpp"
 #include "net/link.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "runtime/histogram.hpp"
 #include "runtime/meter.hpp"
 #include "runtime/worker.hpp"
@@ -61,31 +63,33 @@ struct NodeStats {
   std::uint64_t oversize_detours{0};
 };
 
-/// Lock-free counterpart of NodeStats for the data path.
-struct NodeStatsAtomic {
-  std::atomic<std::uint64_t> packets_processed{0};
-  std::atomic<std::uint64_t> control_packets{0};
-  std::atomic<std::uint64_t> logs_applied{0};
-  std::atomic<std::uint64_t> logs_duplicate{0};
-  std::atomic<std::uint64_t> packets_parked{0};
-  std::atomic<std::uint64_t> nacks_sent{0};
-  std::atomic<std::uint64_t> nacks_served{0};
-  std::atomic<std::uint64_t> drops_filtered{0};
-  std::atomic<std::uint64_t> drops_unparseable{0};
-  std::atomic<std::uint64_t> oversize_detours{0};
+/// The node's registry-backed counters. The hot path increments these
+/// directly (relaxed atomics in the registry); stats() reads the same
+/// cells, so there is no second bookkeeping copy.
+struct NodeCounters {
+  obs::Counter* packets_processed{nullptr};
+  obs::Counter* control_packets{nullptr};
+  obs::Counter* logs_applied{nullptr};
+  obs::Counter* logs_duplicate{nullptr};
+  obs::Counter* packets_parked{nullptr};
+  obs::Counter* nacks_sent{nullptr};
+  obs::Counter* nacks_served{nullptr};
+  obs::Counter* drops_filtered{nullptr};
+  obs::Counter* drops_unparseable{nullptr};
+  obs::Counter* oversize_detours{nullptr};
 
   NodeStats snapshot() const {
     NodeStats s;
-    s.packets_processed = packets_processed.load(std::memory_order_relaxed);
-    s.control_packets = control_packets.load(std::memory_order_relaxed);
-    s.logs_applied = logs_applied.load(std::memory_order_relaxed);
-    s.logs_duplicate = logs_duplicate.load(std::memory_order_relaxed);
-    s.packets_parked = packets_parked.load(std::memory_order_relaxed);
-    s.nacks_sent = nacks_sent.load(std::memory_order_relaxed);
-    s.nacks_served = nacks_served.load(std::memory_order_relaxed);
-    s.drops_filtered = drops_filtered.load(std::memory_order_relaxed);
-    s.drops_unparseable = drops_unparseable.load(std::memory_order_relaxed);
-    s.oversize_detours = oversize_detours.load(std::memory_order_relaxed);
+    s.packets_processed = packets_processed->value();
+    s.control_packets = control_packets->value();
+    s.logs_applied = logs_applied->value();
+    s.logs_duplicate = logs_duplicate->value();
+    s.packets_parked = packets_parked->value();
+    s.nacks_sent = nacks_sent->value();
+    s.nacks_served = nacks_served->value();
+    s.drops_filtered = drops_filtered->value();
+    s.drops_unparseable = drops_unparseable->value();
+    s.oversize_detours = oversize_detours->value();
     return s;
   }
 };
@@ -102,6 +106,8 @@ class FtcNode : rt::NonCopyable {
     const ChainConfig* cfg{nullptr};
     pkt::PacketPool* pool{nullptr};
     net::ControlPlane* ctrl{nullptr};
+    obs::Registry* registry{nullptr};  ///< Metrics/trace sink; a private
+                                       ///< registry is used when null.
     MboxFactory mbox_factory;     ///< Empty for pure replica positions.
   };
 
@@ -140,10 +146,12 @@ class FtcNode : rt::NonCopyable {
   HeadStore* head() noexcept { return head_.get(); }
   InOrderApplier* applier(MboxId mbox) noexcept;
   NodeStats stats() const;
-  std::size_t parked_count() {
+  std::size_t parked_count() const {
     std::lock_guard lock(park_mutex_);
     return parked_.size();
   }
+  /// This node's protocol event trace (park/NACK/recovery transitions).
+  const obs::EventTrace& trace() const noexcept { return *trace_; }
   const rt::Meter& meter() const noexcept { return meter_; }
   mbox::Middlebox* middlebox() noexcept { return mbox_.get(); }
 
@@ -231,7 +239,7 @@ class FtcNode : rt::NonCopyable {
   std::atomic<std::uint64_t> last_commit_attach_{~0ULL};
 
   // Parked packets awaiting missing piggyback logs.
-  std::mutex park_mutex_;
+  mutable std::mutex park_mutex_;
   std::vector<Work> parked_;
   std::map<MboxId, std::uint64_t> last_nack_ns_;
 
@@ -242,9 +250,12 @@ class FtcNode : rt::NonCopyable {
   std::atomic<bool> quiesced_{false};
   std::atomic<int> active_workers_{0};
 
-  // Stats.
+  // Stats / observability.
   rt::Meter meter_;
-  NodeStatsAtomic stats_;
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Registry* registry_{nullptr};
+  NodeCounters stats_;
+  obs::EventTrace* trace_{nullptr};
   bool account_cycles_{false};
   mutable std::mutex busy_mutex_;
   rt::Histogram busy_hist_;

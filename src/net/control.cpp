@@ -7,6 +7,17 @@
 
 namespace sfc::net {
 
+ControlPlane::ControlPlane(obs::Registry* registry) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry = own_registry_.get();
+  }
+  msgs_sent_ = &registry->counter("ctrl.msgs_sent");
+  msgs_delivered_ = &registry->counter("ctrl.msgs_delivered");
+  msgs_dropped_ = &registry->counter("ctrl.msgs_dropped_unknown_dest");
+  wait_timeouts_ = &registry->counter("ctrl.wait_for_timeouts");
+}
+
 void ControlPlane::register_node(NodeId node) {
   std::lock_guard lock(mutex_);
   inboxes_.try_emplace(node);
@@ -36,6 +47,10 @@ void ControlPlane::set_region_delay(std::uint32_t region_a,
 
 std::uint64_t ControlPlane::delay_between(NodeId a, NodeId b) const {
   std::lock_guard lock(mutex_);
+  return delay_between_locked(a, b);
+}
+
+std::uint64_t ControlPlane::delay_between_locked(NodeId a, NodeId b) const {
   if (const auto it = pair_delay_ns_.find(pair_key(a, b));
       it != pair_delay_ns_.end()) {
     return it->second;
@@ -60,15 +75,20 @@ void ControlPlane::set_bandwidth_gbps(double gbps) {
 }
 
 void ControlPlane::send(Message msg) {
-  std::uint64_t deliver_at = rt::now_ns() + delay_between(msg.from, msg.to);
-  {
-    std::lock_guard lock(mutex_);
-    deliver_at += static_cast<std::uint64_t>(
-        ns_per_byte_ * static_cast<double>(msg.payload.size()));
-  }
+  // One critical section: delay lookup, bandwidth charge, and the sorted
+  // insert must agree on a single view of the config, and two back-to-back
+  // locks would let another sender interleave between them.
   std::lock_guard lock(mutex_);
+  const std::uint64_t deliver_at =
+      rt::now_ns() + delay_between_locked(msg.from, msg.to) +
+      static_cast<std::uint64_t>(ns_per_byte_ *
+                                 static_cast<double>(msg.payload.size()));
+  msgs_sent_->inc();
   auto it = inboxes_.find(msg.to);
-  if (it == inboxes_.end()) return;  // Unknown destination: silently dropped.
+  if (it == inboxes_.end()) {  // Unknown destination: silently dropped.
+    msgs_dropped_->inc();
+    return;
+  }
   // Keep the inbox ordered by delivery time so heterogeneous delays do not
   // block short-delay messages behind long-delay ones.
   auto& q = it->second.queue;
@@ -86,6 +106,7 @@ std::optional<Message> ControlPlane::poll(NodeId node) {
   if (head.deliver_at_ns > rt::now_ns()) return std::nullopt;
   Message out = std::move(head.msg);
   it->second.queue.pop_front();
+  msgs_delivered_->inc();
   return out;
 }
 
@@ -93,30 +114,35 @@ std::optional<Message> ControlPlane::wait_for(NodeId node, std::uint32_t type,
                                               std::uint64_t timeout_ns,
                                               std::uint64_t tag) {
   const std::uint64_t deadline = rt::now_ns() + timeout_ns;
-  std::vector<Message> requeue;
-  std::optional<Message> found;
-  while (rt::now_ns() <= deadline) {
-    if (auto msg = poll(node)) {
-      if (msg->type == type && (tag == 0 || msg->tag == tag)) {
-        found = std::move(msg);
-        break;
+  while (true) {
+    {
+      // Scan the deliverable prefix in place and extract only a match.
+      // Non-matching messages keep their slot and original deliver_at_ns,
+      // so the sorted-inbox invariant holds and concurrent poll/wait_for
+      // callers still see them (the old implementation pulled them into a
+      // private stash and re-queued them stamped "now", reordering them
+      // against later sends and hiding them from other consumers).
+      std::lock_guard lock(mutex_);
+      auto it = inboxes_.find(node);
+      if (it != inboxes_.end()) {
+        auto& q = it->second.queue;
+        const std::uint64_t now = rt::now_ns();
+        for (auto mit = q.begin();
+             mit != q.end() && mit->deliver_at_ns <= now; ++mit) {
+          if (mit->msg.type == type && (tag == 0 || mit->msg.tag == tag)) {
+            Message out = std::move(mit->msg);
+            q.erase(mit);
+            msgs_delivered_->inc();
+            return out;
+          }
+        }
       }
-      requeue.push_back(std::move(*msg));
-      continue;
     }
+    if (rt::now_ns() > deadline) break;
     std::this_thread::yield();
   }
-  if (!requeue.empty()) {
-    std::lock_guard lock(mutex_);
-    auto it = inboxes_.find(node);
-    if (it != inboxes_.end()) {
-      const std::uint64_t now = rt::now_ns();
-      for (auto rit = requeue.rbegin(); rit != requeue.rend(); ++rit) {
-        it->second.queue.push_front(Timed{std::move(*rit), now});
-      }
-    }
-  }
-  return found;
+  wait_timeouts_->inc();
+  return std::nullopt;
 }
 
 }  // namespace sfc::net

@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "runtime/common.hpp"
 
 namespace sfc::net {
@@ -32,6 +34,9 @@ struct Message {
 
 class ControlPlane : rt::NonCopyable {
  public:
+  /// Metrics go to @p registry when given, else to a private one.
+  explicit ControlPlane(obs::Registry* registry = nullptr);
+
   /// Ensures @p node has an inbox (idempotent).
   void register_node(NodeId node);
 
@@ -57,8 +62,9 @@ class ControlPlane : rt::NonCopyable {
   std::optional<Message> poll(NodeId node);
 
   /// Blocks (yielding) until a message of @p type (and @p tag, unless tag
-  /// is 0) arrives for @p node or the timeout expires. Other messages
-  /// received meanwhile are queued back in order.
+  /// is 0) arrives for @p node or the timeout expires. Non-matching
+  /// messages are left in the inbox untouched — their delivery times and
+  /// ordering are preserved for concurrent consumers.
   std::optional<Message> wait_for(NodeId node, std::uint32_t type,
                                   std::uint64_t timeout_ns,
                                   std::uint64_t tag = 0);
@@ -84,6 +90,9 @@ class ControlPlane : rt::NonCopyable {
     return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
+  /// delay_between() body; caller holds mutex_.
+  std::uint64_t delay_between_locked(NodeId a, NodeId b) const;
+
   mutable std::mutex mutex_;
   std::unordered_map<NodeId, Inbox> inboxes_;
   std::unordered_map<std::uint64_t, std::uint64_t> pair_delay_ns_;
@@ -91,6 +100,12 @@ class ControlPlane : rt::NonCopyable {
   std::unordered_map<std::uint64_t, std::uint64_t> region_pair_delay_ns_;
   std::uint64_t inter_region_delay_ns_{0};
   double ns_per_byte_{0.0};
+
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Counter* msgs_sent_;
+  obs::Counter* msgs_delivered_;
+  obs::Counter* msgs_dropped_;  ///< Unknown destination.
+  obs::Counter* wait_timeouts_;
 };
 
 }  // namespace sfc::net

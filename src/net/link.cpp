@@ -6,11 +6,22 @@
 
 namespace sfc::net {
 
-Link::Link(pkt::PacketPool& pool, LinkConfig cfg)
+Link::Link(pkt::PacketPool& pool, LinkConfig cfg, obs::Registry* registry,
+           std::string name)
     : pool_(pool),
       cfg_(cfg),
       fast_path_(cfg.delay_ns == 0 && cfg.loss == 0.0 && cfg.reorder == 0.0),
-      fast_queue_(cfg.capacity) {}
+      fast_queue_(cfg.capacity) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry = own_registry_.get();
+  }
+  const obs::Labels labels{{"link", std::move(name)}};
+  sent_ = &registry->counter("link.sent", labels);
+  delivered_ = &registry->counter("link.delivered", labels);
+  dropped_loss_ = &registry->counter("link.dropped_loss", labels);
+  dropped_full_ = &registry->counter("link.dropped_full", labels);
+}
 
 bool Link::lossy_drop() noexcept {
   if (cfg_.loss <= 0.0) return false;
@@ -24,15 +35,15 @@ bool Link::lossy_drop() noexcept {
 bool Link::send(pkt::Packet* p) {
   if (fast_path_) {
     if (!fast_queue_.try_push(std::move(p))) {
-      dropped_full_.fetch_add(1, std::memory_order_relaxed);
+      dropped_full_->inc();
       return false;
     }
-    sent_.fetch_add(1, std::memory_order_relaxed);
+    sent_->inc();
     return true;
   }
 
   if (lossy_drop()) {
-    dropped_loss_.fetch_add(1, std::memory_order_relaxed);
+    dropped_loss_->inc();
     pool_.free_raw(p);
     return true;  // The sender cannot observe wire loss.
   }
@@ -48,11 +59,11 @@ bool Link::send(pkt::Packet* p) {
 
   std::lock_guard lock(mutex_);
   if (timed_queue_.size() >= cfg_.capacity) {
-    dropped_full_.fetch_add(1, std::memory_order_relaxed);
+    dropped_full_->inc();
     return false;
   }
   timed_queue_.push_back(Timed{p, deliver_at});
-  sent_.fetch_add(1, std::memory_order_relaxed);
+  sent_->inc();
   return true;
 }
 
@@ -69,7 +80,7 @@ pkt::Packet* Link::poll() {
   if (fast_path_) {
     auto p = fast_queue_.try_pop();
     if (!p) return nullptr;
-    delivered_.fetch_add(1, std::memory_order_relaxed);
+    delivered_->inc();
     return *p;
   }
 
@@ -82,7 +93,7 @@ pkt::Packet* Link::poll() {
     if (it->deliver_at_ns <= now) {
       pkt::Packet* p = it->packet;
       timed_queue_.erase(it);
-      delivered_.fetch_add(1, std::memory_order_relaxed);
+      delivered_->inc();
       return p;
     }
     // Packets are queued in send order; if the head is not ready, a later
@@ -94,11 +105,11 @@ pkt::Packet* Link::poll() {
 }
 
 LinkStats Link::stats() const noexcept {
-  return LinkStats{sent_.load(), delivered_.load(), dropped_loss_.load(),
-                   dropped_full_.load()};
+  return LinkStats{sent_->value(), delivered_->value(), dropped_loss_->value(),
+                   dropped_full_->value()};
 }
 
-bool Link::drained() noexcept {
+bool Link::drained() const noexcept {
   if (fast_path_) return fast_queue_.size_approx() == 0;
   std::lock_guard lock(mutex_);
   return timed_queue_.empty();

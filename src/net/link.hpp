@@ -11,8 +11,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
 
+#include "obs/registry.hpp"
 #include "packet/packet_pool.hpp"
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/rng.hpp"
@@ -40,7 +43,10 @@ class Link : rt::NonCopyable {
  public:
   /// @param pool Pool that owns packets traversing this link (lost packets
   ///             are returned to it).
-  Link(pkt::PacketPool& pool, LinkConfig cfg = {});
+  /// @param registry Destination for this link's counters (labelled with
+  ///                 @p name); a private registry is used when null.
+  Link(pkt::PacketPool& pool, LinkConfig cfg = {},
+       obs::Registry* registry = nullptr, std::string name = "link");
 
   /// Sends a packet. Returns false when the queue is full (the packet is
   /// NOT consumed; the caller owns it and may retry or drop). A packet
@@ -59,7 +65,7 @@ class Link : rt::NonCopyable {
   const LinkConfig& config() const noexcept { return cfg_; }
 
   /// True when every queued packet has been delivered.
-  bool drained() noexcept;
+  bool drained() const noexcept;
 
  private:
   bool lossy_drop() noexcept;
@@ -75,14 +81,18 @@ class Link : rt::NonCopyable {
 
   rt::MpmcQueue<pkt::Packet*> fast_queue_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::deque<Timed> timed_queue_;
 
   std::atomic<std::uint64_t> loss_counter_{0};
-  std::atomic<std::uint64_t> sent_{0};
-  std::atomic<std::uint64_t> delivered_{0};
-  std::atomic<std::uint64_t> dropped_loss_{0};
-  std::atomic<std::uint64_t> dropped_full_{0};
+
+  // Counters live in the registry (single bookkeeping; the snapshot and
+  // stats() read the same cells the hot path increments).
+  std::unique_ptr<obs::Registry> own_registry_;
+  obs::Counter* sent_;
+  obs::Counter* delivered_;
+  obs::Counter* dropped_loss_;
+  obs::Counter* dropped_full_;
 };
 
 }  // namespace sfc::net

@@ -1,0 +1,185 @@
+// Observability: chain-wide metrics registry (tentpole of the obs layer).
+//
+// Components (nodes, links, control plane, buffer, orchestrator) register
+// named counters/gauges/timers with identity labels instead of growing
+// bespoke stats structs. The hot path touches only the returned metric
+// object — a relaxed atomic increment for counters — while registration,
+// lookup, and snapshotting take the registry mutex (cold path). Snapshots
+// feed the JSON/CSV exporter (obs/export.hpp) and the `sfc_cli stats`
+// command; protocol event traces (obs/trace.hpp) register here too so one
+// snapshot captures the whole chain.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "runtime/common.hpp"
+#include "runtime/histogram.hpp"
+
+namespace sfc::obs {
+
+/// Metric identity labels, e.g. {{"node","3"},{"pos","1"}}. Order does not
+/// matter for identity; the registry canonicalizes by sorting.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic event count. Relaxed atomic: safe for concurrent writers and
+/// cheap enough for the per-packet path.
+class Counter : rt::NonCopyable {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(rt::kCacheLineSize) std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, held packets, ...).
+class Gauge : rt::NonCopyable {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  alignas(rt::kCacheLineSize) std::atomic<std::int64_t> value_{0};
+};
+
+/// Duration/value distribution backed by rt::Histogram. Recording takes a
+/// mutex — meant for protocol-rate events (recoveries, NACK round trips),
+/// not the per-packet fast path (components keep per-thread histograms for
+/// that and expose them via Registry::histogram_fn).
+class Timer : rt::NonCopyable {
+ public:
+  void record(std::uint64_t value) noexcept {
+    std::lock_guard lock(mutex_);
+    hist_.record(value);
+  }
+
+  rt::Histogram snapshot() const {
+    std::lock_guard lock(mutex_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  rt::Histogram hist_;
+};
+
+/// One exported metric value (see Registry::snapshot).
+struct Sample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Labels labels;
+  Kind kind{Kind::kCounter};
+  double value{0};        ///< Counter/gauge value.
+  rt::Histogram hist;     ///< Kind::kHistogram only.
+};
+
+/// A trace with its identity, as captured by Registry::trace_snapshot.
+struct TraceDump {
+  std::string name;
+  Labels labels;
+  std::uint64_t dropped{0};  ///< Events evicted by the bounded ring.
+  std::vector<TraceEvent> events;
+};
+
+class Registry : rt::NonCopyable {
+ public:
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use. The reference stays valid for the registry's lifetime.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  Timer& timer(std::string_view name, Labels labels = {});
+
+  /// Bounded protocol event trace (obs/trace.hpp) with identity labels.
+  EventTrace& trace(std::string_view name, Labels labels = {},
+                    std::size_t capacity = EventTrace::kDefaultCapacity);
+
+  /// Registers a gauge computed on demand at snapshot time (e.g. a queue
+  /// depth owned by another struct). The callback must stay valid until
+  /// the registry is destroyed or the owner is unregistered via
+  /// remove_matching().
+  void gauge_fn(std::string_view name, Labels labels,
+                std::function<double()> fn);
+
+  /// Registers a histogram captured on demand at snapshot time (adapter
+  /// for components that keep their own rt::Histogram).
+  void histogram_fn(std::string_view name, Labels labels,
+                    std::function<rt::Histogram()> fn);
+
+  /// Drops every callback metric whose labels contain (key, value) —
+  /// components deregister their snapshot callbacks before dying.
+  void remove_matching(std::string_view label_key, std::string_view value);
+
+  /// Point-in-time values of every registered metric (callbacks invoked).
+  std::vector<Sample> snapshot() const;
+
+  /// Every registered event trace, oldest event first.
+  std::vector<TraceDump> trace_snapshot() const;
+
+  std::size_t metric_count() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    T value;
+  };
+  // EventTrace is neither copyable nor movable (mutex member), so its
+  // entries are constructed in place via this dedicated type.
+  struct TraceEntry {
+    TraceEntry(std::string n, Labels l, std::size_t capacity)
+        : name(std::move(n)), labels(std::move(l)), value(capacity) {}
+    std::string name;
+    Labels labels;
+    EventTrace value;
+  };
+  struct GaugeFnEntry {
+    std::string name;
+    Labels labels;
+    std::function<double()> fn;
+  };
+  struct HistFnEntry {
+    std::string name;
+    Labels labels;
+    std::function<rt::Histogram()> fn;
+  };
+
+  static std::string key_of(char kind, std::string_view name,
+                            const Labels& labels);
+  static Labels canonical(Labels labels);
+
+  mutable std::mutex mutex_;
+  // Deques: stable addresses across growth (references escape the lock).
+  std::deque<Entry<Counter>> counters_;
+  std::deque<Entry<Gauge>> gauges_;
+  std::deque<Entry<Timer>> timers_;
+  std::deque<TraceEntry> traces_;
+  std::deque<GaugeFnEntry> gauge_fns_;
+  std::deque<HistFnEntry> hist_fns_;
+  std::unordered_map<std::string, void*> index_;
+};
+
+}  // namespace sfc::obs

@@ -13,6 +13,12 @@ using ftc::CtrlMsg;
 Orchestrator::Orchestrator(ftc::ChainRuntime& chain, OrchestratorConfig cfg)
     : chain_(chain), cfg_(cfg), ctrl_(chain.control()) {
   ctrl_.register_node(net::kOrchestratorNode);
+  auto& registry = chain_.registry();
+  const obs::Labels labels{{"node", "orch"}};
+  pings_sent_ = &registry.counter("orch.pings_sent", labels);
+  failures_counter_ = &registry.counter("orch.failures_detected", labels);
+  recoveries_ = &registry.counter("orch.recoveries", labels);
+  trace_ = &registry.trace("orch.events", labels);
 }
 
 Orchestrator::~Orchestrator() { stop(); }
@@ -43,6 +49,7 @@ bool Orchestrator::monitor_body() {
     const auto [it, first_sight] = last_seen_ns_.try_emplace(node->id(), now);
     if (!first_sight && now - it->second > cfg_.failure_timeout_ns) {
       failed_positions.push_back(pos);
+      trace_->emit(obs::Event::kFailureDetected, node->id(), pos);
       continue;
     }
     net::Message ping;
@@ -51,10 +58,12 @@ bool Orchestrator::monitor_body() {
     ping.to = node->id();
     ping.tag = ++ping_seq_;
     ctrl_.send(std::move(ping));
+    pings_sent_->inc();
   }
 
   if (!failed_positions.empty()) {
     failures_detected_.fetch_add(failed_positions.size());
+    failures_counter_->add(failed_positions.size());
     SFC_LOG_INFO("orch") << failed_positions.size()
                          << " replica(s) failed; starting recovery";
     recover(failed_positions);
@@ -93,6 +102,7 @@ std::vector<RecoveryReport> Orchestrator::recover(
     }
     p.node = chain_.spawn_replacement(pos);
     p.report.new_node = p.node->id();
+    trace_->emit(obs::Event::kRecoverySpawn, p.node->id(), pos);
     p.tag = 0xFEC0000000000000ull | p.node->id();
     pending.push_back(p);
   }
@@ -136,6 +146,7 @@ std::vector<RecoveryReport> Orchestrator::recover(
       if (msg->type == CtrlMsg::kInitAck && !p.acked) {
         p.acked = true;
         p.report.initialization_ns = rt::now_ns() - p.start_ns;
+        trace_->emit(obs::Event::kRecoveryInitAck, p.node->id());
       } else if (msg->type == CtrlMsg::kRecovered && !p.done) {
         p.done = true;
         --outstanding;
@@ -161,6 +172,12 @@ std::vector<RecoveryReport> Orchestrator::recover(
     last_seen_ns_[p.node->id()] = rt::now_ns();
     p.report.rerouting_ns = rt::now_ns() - reroute_start;
     p.report.total_ns = rt::now_ns() - p.start_ns;
+    recoveries_->inc();
+    trace_->emit(obs::Event::kRecoveryRerouted, p.node->id(),
+                 p.report.position);
+    chain_.registry()
+        .timer("orch.recovery_total_ns")
+        .record(p.report.total_ns);
     SFC_LOG_INFO("orch") << "position " << p.report.position << " recovered in "
                          << p.report.total_ns / 1000000.0 << " ms";
   }

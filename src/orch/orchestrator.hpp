@@ -86,6 +86,11 @@ class Orchestrator : rt::NonCopyable {
   mutable std::mutex mutex_;
   std::vector<RecoveryReport> reports_;
   std::atomic<std::uint64_t> failures_detected_{0};
+
+  obs::Counter* pings_sent_;
+  obs::Counter* failures_counter_;
+  obs::Counter* recoveries_;
+  obs::EventTrace* trace_;
 };
 
 }  // namespace sfc::orch

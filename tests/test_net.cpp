@@ -125,6 +125,38 @@ TEST(Link, ReorderingDeliversAllPackets) {
   EXPECT_TRUE(out_of_order);
 }
 
+TEST(Link, ReorderLetsLaterPacketPassDelayedHead) {
+  // Deterministic reorder: with loss == 0 the k-th send's reorder draw
+  // hashes exactly (k ^ ~seed). Pick a seed where packet 0 is reordered
+  // (delayed by reorder_extra_ns) and packet 1 is not, then check poll()
+  // delivers packet 1 past the still-delayed head.
+  LinkConfig cfg;
+  cfg.delay_ns = 1'000'000;           // 1 ms base delay.
+  cfg.reorder = 0.5;
+  cfg.reorder_extra_ns = 60'000'000'000ull;  // Far beyond the test horizon.
+  const auto reordered = [&](std::uint64_t counter, std::uint64_t seed) {
+    const std::uint64_t draw = rt::splitmix64(counter ^ ~seed);
+    return static_cast<double>(draw >> 11) * 0x1.0p-53 < cfg.reorder;
+  };
+  std::uint64_t seed = 0;
+  while (!(reordered(0, seed) && !reordered(1, seed))) ++seed;
+  cfg.seed = seed;
+
+  pkt::PacketPool pool(8);
+  Link link(pool, cfg);
+  ASSERT_TRUE(link.send(make_packet(pool, 0)));  // Reordered: held back.
+  ASSERT_TRUE(link.send(make_packet(pool, 1)));  // On time.
+
+  pkt::Packet* p = nullptr;
+  const auto deadline = rt::now_ns() + 1'000'000'000ull;
+  while (p == nullptr && rt::now_ns() < deadline) p = link.poll();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->anno().packet_id, 1u);  // Passed the delayed head.
+  pool.free_raw(p);
+  EXPECT_EQ(link.poll(), nullptr);  // Packet 0 still held back.
+  EXPECT_FALSE(link.drained());
+}
+
 TEST(Link, SendBlockingTimesOut) {
   pkt::PacketPool pool(16);
   LinkConfig cfg;
@@ -232,6 +264,146 @@ TEST(ControlPlane, WaitForFiltersByTypeAndTag) {
   int remaining = 0;
   while (cp.poll(1)) ++remaining;
   EXPECT_EQ(remaining, 2);
+}
+
+TEST(ControlPlane, WaitForPreservesOrderOfSkippedMessages) {
+  // Regression: wait_for used to pull non-matching messages out of the
+  // inbox and re-queue them stamped with the CURRENT time, which moved
+  // them behind messages sent later. They must keep their slot.
+  ControlPlane cp;
+  cp.register_node(1);
+  Message a;
+  a.to = 1;
+  a.type = 1;
+  a.tag = 100;
+  cp.send(std::move(a));
+  Message b;
+  b.to = 1;
+  b.type = 2;
+  cp.send(std::move(b));
+  Message c;
+  c.to = 1;
+  c.type = 1;
+  c.tag = 101;
+  cp.send(std::move(c));
+
+  auto got = cp.wait_for(1, 2, 100'000'000);
+  ASSERT_TRUE(got.has_value());
+
+  // The two skipped type-1 messages still arrive in send order.
+  auto first = cp.poll(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->tag, 100u);
+  auto second = cp.poll(1);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->tag, 101u);
+  EXPECT_FALSE(cp.poll(1).has_value());
+}
+
+TEST(ControlPlane, WaitForDoesNotHideMessagesFromConcurrentConsumers) {
+  // Regression: wait_for used to pull every deliverable non-matching
+  // message into a private stash and only re-queue the stash when IT
+  // finished — a concurrent consumer of those messages starved for the
+  // full duration of the first consumer's wait.
+  ControlPlane cp;
+  cp.register_node(1);
+  Message m;
+  m.to = 1;
+  m.type = 1;
+  cp.send(std::move(m));
+
+  // Consumer 1 waits for a type that never arrives, scanning past the
+  // type-1 message for 600 ms.
+  std::thread blocked([&cp] {
+    EXPECT_FALSE(cp.wait_for(1, 2, 600'000'000).has_value());
+  });
+  // Give it time to have scanned the inbox at least once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  // Consumer 2 must still see the type-1 message while consumer 1 waits.
+  auto got = cp.wait_for(1, 1, 200'000'000);
+  EXPECT_TRUE(got.has_value());
+  blocked.join();
+}
+
+TEST(ControlPlane, WaitForInterleavedWithDelayedSends) {
+  // A wait_for spinning on a delayed target must leave an immediately
+  // deliverable non-matching message in the inbox, untouched.
+  ControlPlane cp;
+  cp.register_node(1);
+  cp.set_delay(5, 1, 30'000'000);  // 30 ms from sender 5.
+  Message noise;
+  noise.from = 2;
+  noise.to = 1;
+  noise.type = 3;
+  cp.send(std::move(noise));
+  Message target;
+  target.from = 5;
+  target.to = 1;
+  target.type = 4;
+  const auto t0 = rt::now_ns();
+  cp.send(std::move(target));
+
+  auto got = cp.wait_for(1, 4, 1'000'000'000);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_GE(rt::now_ns() - t0, 30'000'000u);
+  auto leftover = cp.poll(1);
+  ASSERT_TRUE(leftover.has_value());
+  EXPECT_EQ(leftover->type, 3u);
+}
+
+TEST(ControlPlane, MixedPairDelaysDeliverByArrivalTime) {
+  // Per-pair delays differ per sender: a message sent LATER over a fast
+  // pair overtakes one sent earlier over a slow pair, and both arrive no
+  // earlier than their own delay.
+  ControlPlane cp;
+  cp.register_node(1);
+  cp.set_delay(2, 1, 60'000'000);  // Slow pair: 60 ms.
+  cp.set_delay(3, 1, 5'000'000);   // Fast pair: 5 ms.
+  Message slow;
+  slow.from = 2;
+  slow.to = 1;
+  slow.type = 7;
+  Message fast;
+  fast.from = 3;
+  fast.to = 1;
+  fast.type = 8;
+  const auto t0 = rt::now_ns();
+  cp.send(std::move(slow));
+  cp.send(std::move(fast));
+
+  // Generic wait (any type arriving first) must surface the fast-pair
+  // message even though it was enqueued second.
+  std::optional<Message> first;
+  while (!first.has_value() && rt::now_ns() - t0 < 1'000'000'000ull) {
+    first = cp.poll(1);
+  }
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, 8u);
+  EXPECT_GE(rt::now_ns() - t0, 5'000'000u);
+
+  auto second = cp.wait_for(1, 7, 1'000'000'000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GE(rt::now_ns() - t0, 60'000'000u);
+}
+
+TEST(ControlPlane, CountsRegistryMetrics) {
+  obs::Registry registry;
+  ControlPlane cp(&registry);
+  cp.register_node(1);
+  Message m;
+  m.to = 1;
+  m.type = 5;
+  cp.send(std::move(m));
+  Message dropped;
+  dropped.to = 99;
+  cp.send(std::move(dropped));
+  ASSERT_TRUE(cp.wait_for(1, 5, 100'000'000).has_value());
+  EXPECT_FALSE(cp.wait_for(1, 6, 1'000).has_value());
+
+  EXPECT_EQ(registry.counter("ctrl.msgs_sent").value(), 2u);
+  EXPECT_EQ(registry.counter("ctrl.msgs_delivered").value(), 1u);
+  EXPECT_EQ(registry.counter("ctrl.msgs_dropped_unknown_dest").value(), 1u);
+  EXPECT_EQ(registry.counter("ctrl.wait_for_timeouts").value(), 1u);
 }
 
 }  // namespace

@@ -325,5 +325,82 @@ TEST(Recovery, WanDelaysDominateRecoveryTime) {
   chain.stop();
 }
 
+TEST(Recovery, TraceCapturesParkNackUnparkSequence) {
+  // Lossy links make replicas park packets on missing log dependencies,
+  // NACK the holder after the retransmit timeout, and unpark once the
+  // response fills the gap. The protocol event trace must capture that
+  // sequence in order on at least one node.
+  auto spec = monitor_chain(3);
+  spec.cfg.link.loss = 0.02;
+  spec.cfg.link.delay_ns = 1000;  // Force the timed (lossy) path.
+  spec.cfg.retransmit_timeout_ns = 2'000'000;
+  spec.cfg.nack_min_gap_ns = 500'000;
+  ChainRuntime chain(spec);
+  chain.start();
+
+  tgen::Workload w;
+  tgen::TrafficSource source(chain.pool(), chain.ingress(), w, 50'000.0);
+  tgen::TrafficSink sink(chain.pool(), chain.egress());
+  sink.start();
+  source.start();
+
+  bool found = false;
+  const auto deadline = rt::now_ns() + 15'000'000'000ull;
+  while (!found && rt::now_ns() < deadline) {
+    for (std::uint32_t pos = 0; pos < chain.ring_size() && !found; ++pos) {
+      found = chain.ftc_node(pos)->trace().contains_sequence(
+          {obs::Event::kPacketParked, obs::Event::kNackSent,
+           obs::Event::kPacketUnparked});
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(found) << "no node traced park -> nack_sent -> unpark";
+
+  source.stop();
+  sink.stop();
+  chain.stop();
+}
+
+TEST(Recovery, TraceAndMetricsCaptureRecoveryPhases) {
+  ChainRuntime chain(monitor_chain(3));
+  chain.start();
+  Orchestrator orch(chain);
+
+  tgen::Workload w;
+  tgen::TrafficSource source(chain.pool(), chain.ingress(), w, 30'000.0);
+  tgen::TrafficSink sink(chain.pool(), chain.egress());
+  sink.start();
+  source.start();
+  pump(chain, source, sink, 500);
+  source.stop();
+
+  FtcNode* old_node = chain.ftc_node(1);
+  chain.fail_position(1);
+  EXPECT_TRUE(old_node->trace().contains_sequence({obs::Event::kFailure}));
+
+  auto reports = orch.recover({1});
+  ASSERT_EQ(reports.size(), 1u);
+  ASSERT_TRUE(reports[0].success);
+
+  // The replacement traced its recovery phases in protocol order.
+  FtcNode* new_node = chain.ftc_node(1);
+  EXPECT_TRUE(new_node->trace().contains_sequence(
+      {obs::Event::kRecoveryInit, obs::Event::kRecoveryFetchStart,
+       obs::Event::kRecoveryFetchDone, obs::Event::kRecoveryDone}));
+
+  // The orchestrator's trace and metrics agree.
+  auto& registry = chain.registry();
+  EXPECT_TRUE(registry.trace("orch.events", {{"node", "orch"}})
+                  .contains_sequence({obs::Event::kRecoverySpawn,
+                                      obs::Event::kRecoveryInitAck,
+                                      obs::Event::kRecoveryRerouted}));
+  EXPECT_GE(registry.counter("orch.recoveries", {{"node", "orch"}}).value(),
+            1u);
+  EXPECT_GE(registry.timer("orch.recovery_total_ns").snapshot().count(), 1u);
+
+  sink.stop();
+  chain.stop();
+}
+
 }  // namespace
 }  // namespace sfc::orch
