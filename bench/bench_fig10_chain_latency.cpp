@@ -5,6 +5,7 @@
 // FTC adds ~20 us per middlebox over NF (39-104 us total), FTMB ~35 us
 // per middlebox (64-171 us total).
 #include "common.hpp"
+#include "obs/span.hpp"
 
 using namespace sfc;
 using namespace sfc::bench;
@@ -30,13 +31,29 @@ int main() {
       auto spec = base_spec(modes[mi], ch_n(lengths[li], 1), /*threads=*/1);
       ChainRuntime chain(spec);
       chain.start();
+      // Sampled spans break the end-to-end number down per hop (FTMB
+      // nodes are uninstrumented; NF/FTC chains report breakdowns).
+      obs::SpanCollector spans(&chain.registry());
       tgen::Workload w;
-      const auto r = measure_latency(chain, w, rate_pps);
+      w.trace_sample = 16;
+      const auto r = measure_latency(chain, w, rate_pps, &spans);
+      const auto hops = obs::per_hop_breakdown(spans.snapshot());
       chain.stop();
       mean_us[mi][li] = r.mean_latency_us();
-      report.metric("mean_latency_us", r.mean_latency_us(),
-                    {{"system", mode_name(modes[mi])},
-                     {"chain_len", std::to_string(lengths[li])}});
+      const obs::Labels point{{"system", mode_name(modes[mi])},
+                              {"chain_len", std::to_string(lengths[li])}};
+      report.metric("mean_latency_us", r.mean_latency_us(), point);
+      for (const auto& hop : hops) {
+        obs::Labels labels = point;
+        labels.emplace_back("pos", std::to_string(hop.position));
+        report.metric_hist("hop_latency_ns", hop.hop_ns, labels);
+        if (hop.process_ns.count() > 0) {
+          report.metric_hist("hop_process_ns", hop.process_ns, labels);
+        }
+        if (hop.transit_ns.count() > 0) {
+          report.metric_hist("hop_transit_ns", hop.transit_ns, labels);
+        }
+      }
       std::printf("  %6.1f", r.mean_latency_us());
     }
     std::printf("\n");

@@ -102,20 +102,35 @@ inline std::vector<FtcNode::MboxFactory> ch_rec() {
   return {firewall(), monitor(1), simple_nat()};
 }
 
+/// Warmup/measurement boundary: drop warmup samples so the registry
+/// snapshot in the report covers the measured window only.
+inline std::function<void()> reset_at_measure(ChainRuntime& chain,
+                                              obs::SpanCollector* spans =
+                                                  nullptr) {
+  return [&chain, spans] {
+    chain.registry().reset_counters();
+    if (spans != nullptr) spans->clear();
+  };
+}
+
 /// Maximum-throughput measurement (paper: max sustained rate).
 inline tgen::RunResult measure_tput(ChainRuntime& chain,
-                                    const tgen::Workload& workload) {
+                                    const tgen::Workload& workload,
+                                    obs::SpanCollector* spans = nullptr) {
   return tgen::run_load(chain.pool(), chain.ingress(), chain.egress(),
                         workload, /*rate_pps=*/0.0, point_seconds(),
-                        warmup_seconds());
+                        warmup_seconds(), spans,
+                        reset_at_measure(chain, spans));
 }
 
 /// Latency at a fixed offered load.
 inline tgen::RunResult measure_latency(ChainRuntime& chain,
                                        const tgen::Workload& workload,
-                                       double rate_pps) {
+                                       double rate_pps,
+                                       obs::SpanCollector* spans = nullptr) {
   return tgen::run_load(chain.pool(), chain.ingress(), chain.egress(),
-                        workload, rate_pps, point_seconds(), warmup_seconds());
+                        workload, rate_pps, point_seconds(), warmup_seconds(),
+                        spans, reset_at_measure(chain, spans));
 }
 
 inline const char* mode_name(ChainMode m) { return ftc::to_string(m); }
@@ -210,8 +225,14 @@ inline obs::Report make_report(const char* name) {
 }
 
 /// Writes the report (BENCH_<name>.json, honoring $FTC_BENCH_JSON_DIR)
-/// and tells the user where it went.
-inline void finish_report(const obs::Report& report) {
+/// and tells the user where it went. Passing the chain's registry flushes
+/// its full metric snapshot (counters, gauges, timer quantiles) into the
+/// report under the "registry" label so runs carry their raw telemetry.
+inline void finish_report(obs::Report& report,
+                          const obs::Registry* registry = nullptr) {
+  if (registry != nullptr) {
+    report.add_snapshot(*registry, obs::Labels{{"source", "registry"}});
+  }
   const std::string path = report.write();
   if (path.empty()) {
     std::fprintf(stderr, "warning: failed to write bench JSON report\n");

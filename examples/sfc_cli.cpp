@@ -18,7 +18,9 @@
 
 #include "core/chain.hpp"
 #include "mbox/firewall.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "mbox/gen.hpp"
 #include "mbox/load_balancer.hpp"
 #include "mbox/monitor.hpp"
@@ -40,12 +42,18 @@ struct Options {
   double duration_s{2.0};
   std::size_t flows{64};
   std::size_t frame_len{256};
+  double loss{0.0};
+  double reorder{0.0};
+  double link_delay_us{0.0};
   int fail_position{-1};
   double fail_after_s{0.5};
   std::string pcap_path;
   bool stats{false};
   double stats_interval_s{1.0};
   std::string stats_json_path;
+  bool trace{false};
+  std::uint64_t trace_sample{64};
+  std::string trace_out{"trace.json"};
 };
 
 void usage() {
@@ -60,13 +68,20 @@ void usage() {
       "  --duration SEC      run time (default 2)\n"
       "  --flows N           concurrent flows (default 64)\n"
       "  --frame BYTES       frame size (default 256)\n"
+      "  --loss P            per-link packet drop probability (default 0)\n"
+      "  --reorder P         per-link reorder probability (default 0)\n"
+      "  --link-delay US     per-link one-way delay in microseconds\n"
       "  --fail POS          crash the server at chain position POS mid-run\n"
       "  --fail-after SEC    when to crash it (default 0.5)\n"
       "  --pcap FILE         capture chain egress to a pcap file\n"
       "  stats | --stats     print live metric snapshots during the run and\n"
       "                      a full registry dump at the end\n"
       "  --stats-interval S  seconds between live snapshots (default 1)\n"
-      "  --stats-json FILE   periodically dump the registry to FILE as JSON");
+      "  --stats-json FILE   periodically dump the registry to FILE as JSON\n"
+      "  trace | --trace     sample packets through the chain and write a\n"
+      "                      Chrome trace-event JSON (load in Perfetto)\n"
+      "  --trace-sample N    trace every ~Nth packet (default 64, 1 = all)\n"
+      "  --trace-out FILE    trace output path (default trace.json)");
 }
 
 ftc::FtcNode::MboxFactory parse_mbox(const std::string& spec, bool& ok) {
@@ -166,6 +181,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next("--frame");
       if (v == nullptr) return false;
       opt.frame_len = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--loss") {
+      const char* v = next("--loss");
+      if (v == nullptr) return false;
+      opt.loss = std::atof(v);
+    } else if (arg == "--reorder") {
+      const char* v = next("--reorder");
+      if (v == nullptr) return false;
+      opt.reorder = std::atof(v);
+    } else if (arg == "--link-delay") {
+      const char* v = next("--link-delay");
+      if (v == nullptr) return false;
+      opt.link_delay_us = std::atof(v);
     } else if (arg == "--fail") {
       const char* v = next("--fail");
       if (v == nullptr) return false;
@@ -190,6 +217,19 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next("--stats-json");
       if (v == nullptr) return false;
       opt.stats_json_path = v;
+    } else if (arg == "trace" || arg == "--trace") {
+      opt.trace = true;
+    } else if (arg == "--trace-sample") {
+      const char* v = next("--trace-sample");
+      if (v == nullptr) return false;
+      opt.trace_sample = static_cast<std::uint64_t>(std::atoll(v));
+      if (opt.trace_sample == 0) opt.trace_sample = 1;
+      opt.trace = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) return false;
+      opt.trace_out = v;
+      opt.trace = true;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage();
@@ -209,6 +249,9 @@ int main(int argc, char** argv) {
   spec.mode = opt.mode;
   spec.cfg.f = opt.f;
   spec.cfg.threads_per_node = opt.threads;
+  spec.cfg.link.loss = opt.loss;
+  spec.cfg.link.reorder = opt.reorder;
+  spec.cfg.link.delay_ns = static_cast<std::uint64_t>(opt.link_delay_us * 1e3);
   for (const auto& name : opt.chain) {
     bool ok = false;
     auto factory = parse_mbox(name, ok);
@@ -228,16 +271,27 @@ int main(int argc, char** argv) {
   orch::Orchestrator orchestrator(chain);
   if (opt.mode == ftc::ChainMode::kFtc) orchestrator.start();
 
+  // Span tracing: sampled packets leave one record per chain event, and
+  // the stats output derives its per-hop quantiles from the same records.
+  const bool spans_on = opt.trace || opt.stats;
+  std::unique_ptr<obs::SpanCollector> spans;
+  if (spans_on) spans = std::make_unique<obs::SpanCollector>(&chain.registry());
+
   std::printf("chain: mode=%s servers=%u f=%u threads=%zu rate=%.0f pps\n",
               ftc::to_string(opt.mode), chain.ring_size(), opt.f, opt.threads,
               opt.rate_pps);
+  if (spans_on) {
+    std::printf("trace: sampling 1 in %llu packets\n",
+                static_cast<unsigned long long>(opt.trace_sample));
+  }
 
   tgen::Workload workload;
   workload.num_flows = opt.flows;
   workload.frame_len = opt.frame_len;
+  if (spans_on) workload.trace_sample = opt.trace_sample;
   tgen::TrafficSource source(chain.pool(), chain.ingress(), workload,
-                             opt.rate_pps);
-  tgen::TrafficSink sink(chain.pool(), chain.egress());
+                             opt.rate_pps, spans.get());
+  tgen::TrafficSink sink(chain.pool(), chain.egress(), spans.get());
   pkt::PcapWriter pcap;
   std::unique_ptr<rt::Worker> tap;
   if (!opt.pcap_path.empty()) {
@@ -325,6 +379,38 @@ int main(int argc, char** argv) {
   sink.stop();
   orchestrator.stop();
   chain.stop();
+  if (spans) {
+    const auto records = spans->snapshot();
+    const auto hops = obs::per_hop_breakdown(records);
+    if (!hops.empty()) {
+      std::printf("--- per-hop latency (sampled spans) ---\n");
+      std::printf("%-6s %10s %10s %10s %10s\n", "pos", "hop p50", "hop p99",
+                  "proc p50", "transit p50");
+      for (const auto& hop : hops) {
+        std::printf("%-6u %8.1fus %8.1fus %8.1fus %9.1fus\n", hop.position,
+                    hop.hop_ns.p50() / 1000.0, hop.hop_ns.p99() / 1000.0,
+                    hop.process_ns.p50() / 1000.0,
+                    hop.transit_ns.p50() / 1000.0);
+      }
+    }
+    if (opt.trace) {
+      if (obs::write_chrome_trace(opt.trace_out, records,
+                                  chain.registry().span_site_names())) {
+        std::printf("trace:     %zu spans -> %s (open in ui.perfetto.dev)\n",
+                    records.size(), opt.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "trace:     cannot write %s\n",
+                     opt.trace_out.c_str());
+      }
+      for (const auto& tl : obs::recovery_timelines(records)) {
+        std::printf("timeline:  pos %u: detect %+.1f ms, fetch %.1f ms, "
+                    "reroute %+.1f ms after failure%s\n",
+                    tl.position, tl.time_to_detect_ns() / 1e6,
+                    tl.time_to_fetch_ns() / 1e6, tl.time_to_reroute_ns() / 1e6,
+                    tl.complete() ? "" : " (incomplete)");
+      }
+    }
+  }
   if (exporter) {
     exporter->stop();
     std::printf("stats json: %s (%llu dumps)\n", opt.stats_json_path.c_str(),

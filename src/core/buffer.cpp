@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+#include "runtime/clock.hpp"
+
 namespace sfc::ftc {
+namespace {
+
+inline void span_event(obs::Registry* reg, std::uint64_t trace_id,
+                       obs::SpanKind kind) noexcept {
+  if (auto* sink = reg->span_sink()) {
+    sink->record(obs::SpanRecord{trace_id, rt::now_ns(), 0,
+                                 obs::kSpanSiteBuffer, kind});
+  }
+}
+
+}  // namespace
 
 EgressBuffer::EgressBuffer(pkt::PacketPool& pool, net::Link& egress,
                            FeedbackChannel& feedback, obs::Registry* registry)
@@ -11,6 +25,8 @@ EgressBuffer::EgressBuffer(pkt::PacketPool& pool, net::Link& egress,
     own_registry_ = std::make_unique<obs::Registry>();
     registry = own_registry_.get();
   }
+  registry_ = registry;
+  registry->name_span_site(obs::kSpanSiteBuffer, "egress-buffer");
   submitted_ = &registry->counter("buffer.submitted");
   released_ = &registry->counter("buffer.released");
   released_immediately_ = &registry->counter("buffer.released_immediately");
@@ -40,6 +56,10 @@ bool EgressBuffer::is_covered(const Held& held) const {
 }
 
 void EgressBuffer::release_locked(Held& held) {
+  if (held.packet->anno().trace_id != 0) {
+    span_event(registry_, held.packet->anno().trace_id,
+               obs::SpanKind::kBufferRelease);
+  }
   // The egress link is drained by the measurement sink; block rather than
   // lose a released packet.
   egress_.send_blocking(held.packet);
@@ -56,6 +76,11 @@ void EgressBuffer::absorb(std::span<const CommitVector> commits) {
 }
 
 void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
+  // Cache: the packet leaves our hands inside this function (freed for
+  // control packets, sent for released ones).
+  const bool is_control = p->anno().is_control;
+  const std::uint64_t trace_id = p->anno().trace_id;
+
   std::unique_lock lock(mutex_);
   submitted_->inc();
 
@@ -65,7 +90,7 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
     if (!inserted) it->second.merge(c.max);
   }
 
-  if (p->anno().is_control) {
+  if (is_control) {
     control_consumed_->inc();
     pool_.free_raw(p);
   } else {
@@ -80,6 +105,9 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
       release_locked(held);
       released_immediately_->inc();
     } else {
+      if (trace_id != 0) {
+        span_event(registry_, trace_id, obs::SpanKind::kBufferHold);
+      }
       held_.push_back(std::move(held));
       high_water_->set(std::max<std::int64_t>(
           high_water_->value(), static_cast<std::int64_t>(held_.size())));
@@ -96,7 +124,7 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
     release_locked(held_.front());
     held_.pop_front();
   }
-  if (p->anno().is_control && ++full_scans_ % 4 == 0) {
+  if (is_control && ++full_scans_ % 4 == 0) {
     for (auto it = held_.begin(); it != held_.end();) {
       if (is_covered(*it)) {
         release_locked(*it);

@@ -73,6 +73,7 @@ class EgressBuffer : rt::NonCopyable {
   pkt::PacketPool& pool_;
   net::Link& egress_;
   FeedbackChannel& feedback_;
+  obs::Registry* registry_{nullptr};  ///< Span sink lookup (never null).
 
   mutable std::mutex mutex_;
   std::deque<Held> held_;

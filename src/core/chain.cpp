@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/span.hpp"
+
 namespace sfc::ftc {
 
 ChainRuntime::ChainRuntime(Spec spec) : spec_(std::move(spec)) {
@@ -40,12 +42,13 @@ FtcNode::MboxFactory ChainRuntime::factory_for(std::uint32_t position) const {
 
 void ChainRuntime::build_ftc() {
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    links_.push_back(std::make_unique<net::Link>(*pool_, spec_.cfg.link,
-                                                 &registry_,
-                                                 "seg" + std::to_string(i)));
+    links_.push_back(std::make_unique<net::Link>(
+        *pool_, spec_.cfg.link, &registry_, "seg" + std::to_string(i),
+        obs::span_site_link(i)));
   }
   egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{},
-                                             &registry_, "egress");
+                                             &registry_, "egress",
+                                             obs::span_site_link(kEgressLinkSite));
   feedback_ = std::make_unique<FeedbackChannel>();
   forwarder_ = std::make_unique<Forwarder>(*feedback_, spec_.cfg);
   buffer_ = std::make_unique<EgressBuffer>(*internal_pool_, *egress_link_,
@@ -81,15 +84,16 @@ void ChainRuntime::build_ftc() {
 
 void ChainRuntime::build_nf() {
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    links_.push_back(std::make_unique<net::Link>(*pool_, spec_.cfg.link,
-                                                 &registry_,
-                                                 "seg" + std::to_string(i)));
+    links_.push_back(std::make_unique<net::Link>(
+        *pool_, spec_.cfg.link, &registry_, "seg" + std::to_string(i),
+        obs::span_site_link(i)));
   }
   egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{},
-                                             &registry_, "egress");
+                                             &registry_, "egress",
+                                             obs::span_site_link(kEgressLinkSite));
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
     auto node = std::make_unique<NfNode>(i, spec_.cfg, *internal_pool_,
-                                         factory_for(i));
+                                         factory_for(i), &registry_);
     node->attach_data_path(links_[i].get(), i + 1 < ring_size_
                                                 ? links_[i + 1].get()
                                                 : egress_link_.get());

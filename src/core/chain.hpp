@@ -28,6 +28,10 @@
 
 namespace sfc::ftc {
 
+/// Span-site link id of the chain's egress link (segments use their ring
+/// position). High enough to clear any realistic chain length.
+constexpr std::uint32_t kEgressLinkSite = 1000;
+
 class ChainRuntime : rt::NonCopyable {
  public:
   struct Spec {

@@ -4,6 +4,17 @@
 #include "runtime/clock.hpp"
 
 namespace sfc::ftc {
+namespace {
+
+inline void span_event(obs::Registry* reg, std::uint32_t site,
+                       std::uint64_t trace_id, obs::SpanKind kind,
+                       std::uint64_t a = 0) noexcept {
+  if (auto* sink = reg->span_sink()) {
+    sink->record(obs::SpanRecord{trace_id, rt::now_ns(), a, site, kind});
+  }
+}
+
+}  // namespace
 
 void NfNode::start() {
   for (std::size_t t = 0; t < cfg_.threads_per_node; ++t) {
@@ -20,6 +31,11 @@ bool NfNode::worker_body(std::uint32_t thread_id) {
   if (in == nullptr) return false;
   pkt::Packet* p = in->poll();
   if (p == nullptr) return false;
+  const bool traced = p->anno().trace_id != 0 && registry_ != nullptr;
+  if (traced) {
+    span_event(registry_, obs::span_site_node(position_), p->anno().trace_id,
+               obs::SpanKind::kNodeIngress, position_);
+  }
   const std::uint64_t b0 = account_cycles_ ? rt::rdtsc() : 0;
 
   mbox::Verdict verdict = mbox::Verdict::kForward;
@@ -28,6 +44,7 @@ bool NfNode::worker_body(std::uint32_t thread_id) {
     if (!parsed) {
       verdict = mbox::Verdict::kDrop;
     } else {
+      const std::uint64_t span_t0 = traced ? rt::now_ns() : 0;
       mbox::ProcessContext pctx;
       pctx.thread_id = thread_id;
       pctx.num_threads = static_cast<std::uint32_t>(cfg_.threads_per_node);
@@ -40,6 +57,11 @@ bool NfNode::worker_body(std::uint32_t thread_id) {
         });
       }
       if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
+      if (traced) {
+        span_event(registry_, obs::span_site_node(position_),
+                   p->anno().trace_id, obs::SpanKind::kProcess,
+                   rt::now_ns() - span_t0);
+      }
     }
   }
 
@@ -49,6 +71,10 @@ bool NfNode::worker_body(std::uint32_t thread_id) {
     return true;
   }
   meter_.add(1, p->size());
+  if (traced) {
+    span_event(registry_, obs::span_site_node(position_), p->anno().trace_id,
+               obs::SpanKind::kNodeEgress);
+  }
   net::Link* out = out_link_.load(std::memory_order_acquire);
   if (account_cycles_) {
     // Account productive work only; downstream backpressure is excluded.

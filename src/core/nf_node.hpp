@@ -13,6 +13,7 @@
 #include "core/config.hpp"
 #include "mbox/middlebox.hpp"
 #include "net/link.hpp"
+#include "obs/span.hpp"
 #include "packet/packet_pool.hpp"
 #include "runtime/histogram.hpp"
 #include "runtime/meter.hpp"
@@ -22,14 +23,25 @@ namespace sfc::ftc {
 
 class NfNode : rt::NonCopyable {
  public:
+  /// @param registry Span sink lookup for sampled-packet tracing; tracing
+  ///                 is off for this node when null. NF nodes have no
+  ///                 NodeId, so the span site is derived from the position
+  ///                 (unambiguous: an NF chain has no FTC nodes).
   NfNode(std::uint32_t position, const ChainConfig& cfg, pkt::PacketPool& pool,
-         std::function<std::unique_ptr<mbox::Middlebox>()> factory)
+         std::function<std::unique_ptr<mbox::Middlebox>()> factory,
+         obs::Registry* registry = nullptr)
       : position_(position),
         cfg_(cfg),
         pool_(pool),
+        registry_(registry),
         mbox_(factory ? factory() : nullptr),
         store_(cfg.num_partitions),
-        txn_ctx_(store_) {}
+        txn_ctx_(store_) {
+    if (registry_ != nullptr) {
+      registry_->name_span_site(obs::span_site_node(position_),
+                                "nf pos" + std::to_string(position_));
+    }
+  }
 
   ~NfNode() { stop(); }
 
@@ -68,6 +80,7 @@ class NfNode : rt::NonCopyable {
   const std::uint32_t position_;
   const ChainConfig& cfg_;
   pkt::PacketPool& pool_;
+  obs::Registry* registry_{nullptr};
   std::unique_ptr<mbox::Middlebox> mbox_;
   state::StateStore store_;
   state::TxnContext txn_ctx_;

@@ -4,12 +4,24 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/span.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/logging.hpp"
 
 namespace sfc::ftc {
 
 namespace {
+
+/// Cold path of the tracing branch: call only after trace_id != 0 (or,
+/// for protocol-rate recovery spans, unconditionally — the sink check is
+/// the gate).
+inline void span_event(obs::Registry* reg, std::uint32_t site,
+                       std::uint64_t trace_id, obs::SpanKind kind,
+                       std::uint64_t a = 0) noexcept {
+  if (auto* sink = reg->span_sink()) {
+    sink->record(obs::SpanRecord{trace_id, rt::now_ns(), a, site, kind});
+  }
+}
 
 // Cycles the current thread spent blocked on full downstream queues while
 // processing the current packet; subtracted from busy accounting.
@@ -70,6 +82,9 @@ FtcNode::FtcNode(Params params)
   stats_.oversize_detours =
       &registry_->counter("node.oversize_detours", labels);
   trace_ = &registry_->trace("node.events", labels);
+  registry_->name_span_site(obs::span_site_node(id_),
+                            "node " + std::to_string(id_) + " pos" +
+                                std::to_string(position_));
   registry_->gauge_fn("node.parked", labels, [this] {
     return static_cast<double>(parked_count());
   });
@@ -154,6 +169,9 @@ void FtcNode::stop() {
 void FtcNode::fail() {
   failed_.store(true, std::memory_order_release);
   trace_->emit(obs::Event::kFailure, id_);
+  span_event(registry_, obs::span_site_node(id_),
+             obs::recovery_trace_id(position_), obs::SpanKind::kFail,
+             position_);
   stop();
   // Crash-stop: parked packets are lost with the node.
   std::lock_guard lock(park_mutex_);
@@ -186,6 +204,10 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
   net::Link* in = in_link_.load(std::memory_order_acquire);
   if (in != nullptr) {
     if (pkt::Packet* p = in->poll()) {
+      if (p->anno().trace_id != 0) {
+        span_event(registry_, obs::span_site_node(id_), p->anno().trace_id,
+                   obs::SpanKind::kNodeIngress, position_);
+      }
       Work work;
       work.packet = p;
       work.thread_id = thread_id;
@@ -227,6 +249,9 @@ void FtcNode::process_work(Work&& work) {
 }
 
 bool FtcNode::apply_logs(Work& work) {
+  const bool traced =
+      work.packet != nullptr && work.packet->anno().trace_id != 0;
+  const std::uint64_t span_t0 = traced ? rt::now_ns() : 0;
   const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
   bool complete = true;
   for (; work.next_log < work.msg.logs.size(); ++work.next_log) {
@@ -260,6 +285,11 @@ bool FtcNode::apply_logs(Work& work) {
   if (account_cycles_) {
     cyc_piggyback_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
   }
+  if (traced && complete) {
+    span_event(registry_, obs::span_site_node(id_),
+               work.packet->anno().trace_id, obs::SpanKind::kApply,
+               rt::now_ns() - span_t0);
+  }
   return complete;
 }
 
@@ -268,6 +298,10 @@ void FtcNode::park(Work&& work) {
   const MboxId blocked_on = work.next_log < work.msg.logs.size()
                                 ? work.msg.logs[work.next_log].mbox
                                 : 0;
+  if (work.packet->anno().trace_id != 0) {
+    span_event(registry_, obs::span_site_node(id_), work.packet->anno().trace_id,
+               obs::SpanKind::kPark, blocked_on);
+  }
   std::size_t depth = 0;
   {
     std::lock_guard lock(park_mutex_);
@@ -281,13 +315,20 @@ void FtcNode::park(Work&& work) {
 void FtcNode::finish_work(Work&& work) {
   pkt::Packet* p = work.packet;
   PiggybackMessage msg = std::move(work.msg);
+  const std::uint64_t trace_id = p->anno().trace_id;
 
   // --- Phase B: tail duty, pruning, commit stripping (paper §5.1). ---
   const std::uint64_t tb0 = account_cycles_ ? rt::rdtsc() : 0;
   const std::uint32_t tail_mbox = tail_of();
   if (tail_mbox != ring_size_) {
     if (InOrderApplier* a = applier(tail_mbox)) {
-      if (!msg.logs.empty()) msg.strip_logs_of(tail_mbox);
+      if (!msg.logs.empty()) {
+        msg.strip_logs_of(tail_mbox);
+        if (trace_id != 0) {
+          span_event(registry_, obs::span_site_node(id_), trace_id,
+                     obs::SpanKind::kStrip, tail_mbox);
+        }
+      }
       // Attach the commit vector only when it advanced: re-announcing an
       // unchanged MAX carries no information and costs 100+ bytes per
       // packet on read-heavy workloads.
@@ -296,6 +337,10 @@ void FtcNode::finish_work(Work&& work) {
         last_commit_attach_.store(applied, std::memory_order_relaxed);
         msg.set_commit(tail_mbox, a->max());
         trace_->emit(obs::Event::kCommitAttach, tail_mbox, applied);
+        if (trace_id != 0) {
+          span_event(registry_, obs::span_site_node(id_), trace_id,
+                     obs::SpanKind::kCommitAttach, tail_mbox);
+        }
       }
     }
   }
@@ -318,6 +363,7 @@ void FtcNode::finish_work(Work&& work) {
       stats_.drops_unparseable->inc();
       verdict = mbox::Verdict::kDrop;
     } else {
+      const std::uint64_t span_t0 = trace_id != 0 ? rt::now_ns() : 0;
       const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
       mbox::ProcessContext pctx;
       pctx.thread_id = work.thread_id;
@@ -337,6 +383,10 @@ void FtcNode::finish_work(Work&& work) {
       if (account_cycles_) {
         cyc_process_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
         cyc_packets_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (trace_id != 0) {
+        span_event(registry_, obs::span_site_node(id_), trace_id,
+                   obs::SpanKind::kProcess, rt::now_ns() - span_t0);
       }
     }
   }
@@ -365,6 +415,10 @@ void FtcNode::finish_work(Work&& work) {
 }
 
 void FtcNode::emit(pkt::Packet* p, PiggybackMessage&& msg) {
+  if (p->anno().trace_id != 0) {
+    span_event(registry_, obs::span_site_node(id_), p->anno().trace_id,
+               obs::SpanKind::kNodeEgress);
+  }
   if (buffer_ != nullptr) {
     buffer_->submit(p, std::move(msg));
     return;
@@ -436,6 +490,11 @@ void FtcNode::drain_parked() {
         const MboxId unblocked = before < work.msg.logs.size()
                                      ? work.msg.logs[before].mbox
                                      : 0;
+        if (was_parked && work.packet->anno().trace_id != 0) {
+          span_event(registry_, obs::span_site_node(id_),
+                     work.packet->anno().trace_id, obs::SpanKind::kUnpark,
+                     rt::now_ns() - work.parked_at_ns);
+        }
         finish_work(std::move(work));
         if (was_parked) {
           trace_->emit(obs::Event::kPacketUnparked, unblocked,
@@ -665,6 +724,9 @@ bool FtcNode::recover_from(
     put_u32(req.payload, mbox);
     ctrl_.send(std::move(req));
     trace_->emit(obs::Event::kRecoveryFetchStart, mbox, source);
+    span_event(registry_, obs::span_site_node(id_),
+               obs::recovery_trace_id(position_), obs::SpanKind::kFetchStart,
+               mbox);
   }
 
   const std::uint64_t deadline = rt::now_ns() + timeout_ns;
@@ -690,6 +752,9 @@ bool FtcNode::recover_from(
         f.ok = a->deserialize(in);
       }
       trace_->emit(obs::Event::kRecoveryFetchDone, mbox, f.ok ? 1 : 0);
+      span_event(registry_, obs::span_site_node(id_),
+                 obs::recovery_trace_id(position_), obs::SpanKind::kFetchDone,
+                 mbox);
       break;
     }
   }

@@ -2,20 +2,36 @@
 
 #include <thread>
 
+#include "obs/span.hpp"
 #include "runtime/clock.hpp"
 
 namespace sfc::net {
+namespace {
+
+/// Cold path of the tracing branch: call only after trace_id != 0.
+inline void span_event(obs::Registry* reg, std::uint32_t site,
+                       std::uint64_t trace_id, obs::SpanKind kind,
+                       std::uint64_t a = 0) noexcept {
+  if (auto* sink = reg->span_sink()) {
+    sink->record(obs::SpanRecord{trace_id, rt::now_ns(), a, site, kind});
+  }
+}
+
+}  // namespace
 
 Link::Link(pkt::PacketPool& pool, LinkConfig cfg, obs::Registry* registry,
-           std::string name)
+           std::string name, std::uint32_t span_site)
     : pool_(pool),
       cfg_(cfg),
       fast_path_(cfg.delay_ns == 0 && cfg.loss == 0.0 && cfg.reorder == 0.0),
+      span_site_(span_site),
       fast_queue_(cfg.capacity) {
   if (registry == nullptr) {
     own_registry_ = std::make_unique<obs::Registry>();
     registry = own_registry_.get();
   }
+  registry_ = registry;
+  if (span_site_ != 0) registry->name_span_site(span_site_, "link:" + name);
   const obs::Labels labels{{"link", std::move(name)}};
   sent_ = &registry->counter("link.sent", labels);
   delivered_ = &registry->counter("link.delivered", labels);
@@ -33,18 +49,27 @@ bool Link::lossy_drop() noexcept {
 }
 
 bool Link::send(pkt::Packet* p) {
+  // Cache before the push: ownership transfers with the pointer.
+  const std::uint64_t trace_id = p->anno().trace_id;
+
   if (fast_path_) {
     if (!fast_queue_.try_push(std::move(p))) {
       dropped_full_->inc();
       return false;
     }
     sent_->inc();
+    if (trace_id != 0) {
+      span_event(registry_, span_site_, trace_id, obs::SpanKind::kLinkEnter);
+    }
     return true;
   }
 
   if (lossy_drop()) {
     dropped_loss_->inc();
     pool_.free_raw(p);
+    if (trace_id != 0) {
+      span_event(registry_, span_site_, trace_id, obs::SpanKind::kLinkDrop);
+    }
     return true;  // The sender cannot observe wire loss.
   }
 
@@ -54,6 +79,10 @@ bool Link::send(pkt::Packet* p) {
         loss_counter_.fetch_add(1, std::memory_order_relaxed) ^ ~cfg_.seed);
     if (static_cast<double>(draw >> 11) * 0x1.0p-53 < cfg_.reorder) {
       deliver_at += cfg_.reorder_extra_ns;
+      if (trace_id != 0) {
+        span_event(registry_, span_site_, trace_id, obs::SpanKind::kLinkHold,
+                   cfg_.reorder_extra_ns);
+      }
     }
   }
 
@@ -64,6 +93,9 @@ bool Link::send(pkt::Packet* p) {
   }
   timed_queue_.push_back(Timed{p, deliver_at});
   sent_->inc();
+  if (trace_id != 0) {
+    span_event(registry_, span_site_, trace_id, obs::SpanKind::kLinkEnter);
+  }
   return true;
 }
 
@@ -81,6 +113,10 @@ pkt::Packet* Link::poll() {
     auto p = fast_queue_.try_pop();
     if (!p) return nullptr;
     delivered_->inc();
+    if ((*p)->anno().trace_id != 0) {
+      span_event(registry_, span_site_, (*p)->anno().trace_id,
+                 obs::SpanKind::kLinkExit);
+    }
     return *p;
   }
 
@@ -94,6 +130,10 @@ pkt::Packet* Link::poll() {
       pkt::Packet* p = it->packet;
       timed_queue_.erase(it);
       delivered_->inc();
+      if (p->anno().trace_id != 0) {
+        span_event(registry_, span_site_, p->anno().trace_id,
+                   obs::SpanKind::kLinkExit);
+      }
       return p;
     }
     // Packets are queued in send order; if the head is not ready, a later

@@ -45,8 +45,11 @@ class Link : rt::NonCopyable {
   ///             are returned to it).
   /// @param registry Destination for this link's counters (labelled with
   ///                 @p name); a private registry is used when null.
+  /// @param span_site Span site id for sampled-packet tracing
+  ///                  (obs::span_site_link); 0 disables span events.
   Link(pkt::PacketPool& pool, LinkConfig cfg = {},
-       obs::Registry* registry = nullptr, std::string name = "link");
+       obs::Registry* registry = nullptr, std::string name = "link",
+       std::uint32_t span_site = 0);
 
   /// Sends a packet. Returns false when the queue is full (the packet is
   /// NOT consumed; the caller owns it and may retry or drop). A packet
@@ -78,6 +81,8 @@ class Link : rt::NonCopyable {
   pkt::PacketPool& pool_;
   const LinkConfig cfg_;
   const bool fast_path_;
+  obs::Registry* registry_{nullptr};  ///< Span sink lookup (never null).
+  const std::uint32_t span_site_;
 
   rt::MpmcQueue<pkt::Packet*> fast_queue_;
 

@@ -1,0 +1,282 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+#include "obs/export.hpp"
+
+namespace sfc::obs {
+namespace {
+
+constexpr int kPid = 1;  ///< One simulated chain = one trace "process".
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string default_site_name(std::uint32_t site) {
+  const std::uint32_t domain = site >> 24;
+  const std::uint32_t id = site & 0x00FF'FFFFu;
+  char buf[48];
+  switch (domain) {
+    case 0:
+      return site == kSpanSiteGen ? "traffic-gen" : "traffic-sink";
+    case 1:
+      std::snprintf(buf, sizeof(buf), "node %u", id);
+      return buf;
+    case 2:
+      std::snprintf(buf, sizeof(buf), "link %u", id);
+      return buf;
+    case 3:
+      return "egress-buffer";
+    case 4:
+      return "orchestrator";
+    default:
+      std::snprintf(buf, sizeof(buf), "site %u:%u", domain, id);
+      return buf;
+  }
+}
+
+/// Microseconds with sub-µs precision, normalized to the trace start.
+std::string ts_us(std::uint64_t ts_ns, std::uint64_t base_ns) {
+  const std::uint64_t rel = ts_ns >= base_ns ? ts_ns - base_ns : 0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(rel / 1000),
+                static_cast<unsigned long long>(rel % 1000));
+  return buf;
+}
+
+class EventWriter {
+ public:
+  EventWriter(std::string& out, std::uint64_t base_ns)
+      : out_(out), base_ns_(base_ns) {}
+
+  void metadata(const char* what, std::uint32_t tid, std::string_view value) {
+    begin();
+    out_ += "{\"name\":\"";
+    out_ += what;
+    out_ += "\",\"ph\":\"M\",\"pid\":" + std::to_string(kPid);
+    out_ += ",\"tid\":" + std::to_string(tid);
+    out_ += ",\"args\":{\"name\":\"";
+    append_escaped(out_, value);
+    out_ += "\"}}";
+  }
+
+  void sort_index(std::uint32_t tid, std::uint32_t index) {
+    begin();
+    out_ += "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":" +
+            std::to_string(kPid);
+    out_ += ",\"tid\":" + std::to_string(tid);
+    out_ += ",\"args\":{\"sort_index\":" + std::to_string(index) + "}}";
+  }
+
+  /// Complete ("X") slice from @p start_ns to @p end_ns.
+  void slice(std::string_view name, std::uint32_t tid, std::uint64_t start_ns,
+             std::uint64_t end_ns, const SpanRecord& r) {
+    const std::uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+    begin();
+    out_ += "{\"name\":\"";
+    append_escaped(out_, name);
+    out_ += "\",\"ph\":\"X\",\"ts\":" + ts_us(start_ns, base_ns_);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(dur / 1000),
+                  static_cast<unsigned long long>(dur % 1000));
+    out_ += ",\"dur\":";
+    out_ += buf;
+    common_tail(tid, r);
+  }
+
+  void instant(std::string_view name, std::uint32_t tid, const SpanRecord& r) {
+    begin();
+    out_ += "{\"name\":\"";
+    append_escaped(out_, name);
+    out_ += "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + ts_us(r.ts_ns, base_ns_);
+    common_tail(tid, r);
+  }
+
+ private:
+  void begin() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+
+  void common_tail(std::uint32_t tid, const SpanRecord& r) {
+    out_ += ",\"pid\":" + std::to_string(kPid);
+    out_ += ",\"tid\":" + std::to_string(tid);
+    out_ += ",\"args\":{\"trace\":" + std::to_string(r.trace_id);
+    out_ += ",\"a\":" + std::to_string(r.a) + "}}";
+  }
+
+  std::string& out_;
+  const std::uint64_t base_ns_;
+  bool first_{true};
+};
+
+}  // namespace
+
+std::string to_chrome_trace(
+    const std::vector<SpanRecord>& records,
+    const std::map<std::uint32_t, std::string>& site_names) {
+  std::vector<SpanRecord> rs = records;
+  std::stable_sort(rs.begin(), rs.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  std::uint64_t base_ns = std::numeric_limits<std::uint64_t>::max();
+  std::set<std::uint32_t> sites;
+  for (const SpanRecord& r : rs) {
+    base_ns = std::min(base_ns, r.ts_ns);
+    sites.insert(r.site);
+  }
+  if (rs.empty()) base_ns = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  EventWriter w(out, base_ns);
+  w.metadata("process_name", 0, "sfc-chain");
+  std::uint32_t order = 0;
+  for (const std::uint32_t site : sites) {
+    const auto it = site_names.find(site);
+    w.metadata("thread_name", site,
+               it != site_names.end() ? it->second : default_site_name(site));
+    w.sort_index(site, ++order);
+  }
+
+  // Open paired spans, keyed by site (and mbox for fetches) within the
+  // current trace. Cleared at each trace boundary so a missing close
+  // (dropped packet) cannot leak into another trace.
+  std::map<std::uint32_t, SpanRecord> open_hop;
+  std::map<std::uint32_t, SpanRecord> open_link;
+  std::map<std::uint32_t, SpanRecord> open_buffer;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, SpanRecord> open_fetch;
+  SpanRecord open_recovery{};  // kDetect, pending kReroute.
+  std::uint64_t current_trace = 0;
+  bool in_trace = false;
+
+  const auto flush_trace = [&] {
+    open_hop.clear();
+    open_link.clear();
+    open_buffer.clear();
+    open_fetch.clear();
+    open_recovery = SpanRecord{};
+  };
+
+  for (const SpanRecord& r : rs) {
+    if (!in_trace || r.trace_id != current_trace) {
+      flush_trace();
+      current_trace = r.trace_id;
+      in_trace = true;
+    }
+    switch (r.kind) {
+      case SpanKind::kNodeIngress:
+        open_hop[r.site] = r;
+        break;
+      case SpanKind::kNodeEgress: {
+        const auto it = open_hop.find(r.site);
+        if (it != open_hop.end()) {
+          w.slice("hop", r.site, it->second.ts_ns, r.ts_ns, it->second);
+          open_hop.erase(it);
+        }
+        break;
+      }
+      case SpanKind::kLinkEnter:
+        open_link[r.site] = r;
+        break;
+      case SpanKind::kLinkExit: {
+        const auto it = open_link.find(r.site);
+        if (it != open_link.end()) {
+          w.slice("transit", r.site, it->second.ts_ns, r.ts_ns, it->second);
+          open_link.erase(it);
+        }
+        break;
+      }
+      case SpanKind::kBufferHold:
+        open_buffer[r.site] = r;
+        break;
+      case SpanKind::kBufferRelease: {
+        const auto it = open_buffer.find(r.site);
+        if (it != open_buffer.end()) {
+          w.slice("buffered", r.site, it->second.ts_ns, r.ts_ns, it->second);
+          open_buffer.erase(it);
+        }
+        break;
+      }
+      case SpanKind::kFetchStart:
+        open_fetch[{r.site, r.a}] = r;
+        break;
+      case SpanKind::kFetchDone: {
+        const auto it = open_fetch.find({r.site, r.a});
+        if (it != open_fetch.end()) {
+          char name[32];
+          std::snprintf(name, sizeof(name), "fetch mbox%llu",
+                        static_cast<unsigned long long>(r.a));
+          w.slice(name, r.site, it->second.ts_ns, r.ts_ns, it->second);
+          open_fetch.erase(it);
+        }
+        break;
+      }
+      case SpanKind::kDetect:
+        open_recovery = r;
+        w.instant("detect", r.site, r);
+        break;
+      case SpanKind::kReroute:
+        if (open_recovery.ts_ns != 0) {
+          w.slice("recovery", r.site, open_recovery.ts_ns, r.ts_ns,
+                  open_recovery);
+          open_recovery = SpanRecord{};
+        }
+        w.instant("reroute", r.site, r);
+        break;
+      // Durations carried in the record: slice ends at the timestamp.
+      case SpanKind::kProcess:
+        w.slice("process", r.site, r.ts_ns >= r.a ? r.ts_ns - r.a : 0, r.ts_ns,
+                r);
+        break;
+      case SpanKind::kApply:
+        w.slice("apply", r.site, r.ts_ns >= r.a ? r.ts_ns - r.a : 0, r.ts_ns,
+                r);
+        break;
+      case SpanKind::kUnpark:
+        w.slice("parked", r.site, r.ts_ns >= r.a ? r.ts_ns - r.a : 0, r.ts_ns,
+                r);
+        break;
+      case SpanKind::kSinkRecv:
+        w.slice("end-to-end", r.site, r.ts_ns >= r.a ? r.ts_ns - r.a : 0,
+                r.ts_ns, r);
+        break;
+      default:
+        w.instant(to_string(r.kind), r.site, r);
+        break;
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<SpanRecord>& records,
+                        const std::map<std::uint32_t, std::string>& site_names) {
+  return write_file(path, to_chrome_trace(records, site_names) + "\n");
+}
+
+}  // namespace sfc::obs

@@ -1,0 +1,37 @@
+// Observability: Chrome trace-event JSON exporter for collected spans.
+//
+// Serializes SpanRecords into the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+// so a capture loads directly in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Every span site (node, link, buffer, orchestrator,
+// generator, sink) becomes one track: paired events (node ingress/egress,
+// link enter/exit, buffer hold/release, fetch start/done, detect/reroute)
+// render as complete ("X") slices, durations carried in the record
+// (process, apply, unpark, end-to-end) as slices ending at the record's
+// timestamp, and everything else (drops, parks, failure/recovery
+// milestones) as instants. Timestamps are normalized to the earliest
+// record so traces start at t=0.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace sfc::obs {
+
+/// Renders records as a Chrome trace-event JSON document
+/// ({"traceEvents":[...]}). @p site_names maps span sites to track names
+/// (Registry::span_site_names); unnamed sites get a generated name.
+std::string to_chrome_trace(
+    const std::vector<SpanRecord>& records,
+    const std::map<std::uint32_t, std::string>& site_names = {});
+
+/// to_chrome_trace + atomic file write. Returns false on I/O failure.
+bool write_chrome_trace(
+    const std::string& path, const std::vector<SpanRecord>& records,
+    const std::map<std::uint32_t, std::string>& site_names = {});
+
+}  // namespace sfc::obs

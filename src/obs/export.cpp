@@ -202,14 +202,16 @@ std::string to_text(const Registry& registry) {
     }
     out += " = ";
     if (s.kind == Sample::Kind::kHistogram) {
-      char buf[160];
-      std::snprintf(buf, sizeof(buf),
-                    "count=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
-                    static_cast<unsigned long long>(s.hist.count()),
-                    s.hist.mean(),
-                    static_cast<unsigned long long>(s.hist.p50()),
-                    static_cast<unsigned long long>(s.hist.p99()),
-                    static_cast<unsigned long long>(s.hist.max()));
+      char buf[200];
+      std::snprintf(
+          buf, sizeof(buf),
+          "count=%llu mean=%.1f p50=%llu p90=%llu p99=%llu p999=%llu max=%llu",
+          static_cast<unsigned long long>(s.hist.count()), s.hist.mean(),
+          static_cast<unsigned long long>(s.hist.p50()),
+          static_cast<unsigned long long>(s.hist.p90()),
+          static_cast<unsigned long long>(s.hist.p99()),
+          static_cast<unsigned long long>(s.hist.p999()),
+          static_cast<unsigned long long>(s.hist.max()));
       out += buf;
     } else {
       append_number(out, s.value);
@@ -317,12 +319,14 @@ Report& Report::metric_hist(std::string_view name, const rt::Histogram& hist,
   return *this;
 }
 
-Report& Report::add_snapshot(const Registry& registry) {
+Report& Report::add_snapshot(const Registry& registry, const Labels& extra) {
   for (const auto& s : registry.snapshot()) {
+    Labels labels = s.labels;
+    labels.insert(labels.end(), extra.begin(), extra.end());
     if (s.kind == Sample::Kind::kHistogram) {
-      metric_hist(s.name, s.hist, s.labels);
+      metric_hist(s.name, s.hist, std::move(labels));
     } else {
-      metric(s.name, s.value, s.labels);
+      metric(s.name, s.value, std::move(labels));
     }
   }
   return *this;

@@ -93,8 +93,9 @@ class Report {
   Report& metric_hist(std::string_view name, const rt::Histogram& hist,
                       Labels labels = {});
 
-  /// Appends every metric in @p registry's current snapshot.
-  Report& add_snapshot(const Registry& registry);
+  /// Appends every metric in @p registry's current snapshot, with
+  /// @p extra labels appended to each (e.g. the bench point identity).
+  Report& add_snapshot(const Registry& registry, const Labels& extra = {});
 
   /// Records the bench's pass/fail shape check in the file.
   Report& shape_check(bool ok);

@@ -202,4 +202,20 @@ std::size_t Registry::metric_count() const {
          gauge_fns_.size() + hist_fns_.size();
 }
 
+void Registry::reset_counters() {
+  std::lock_guard lock(mutex_);
+  for (auto& e : counters_) e.value.reset();
+  for (auto& e : timers_) e.value.reset();
+}
+
+void Registry::name_span_site(std::uint32_t site, std::string name) {
+  std::lock_guard lock(mutex_);
+  site_names_[site] = std::move(name);
+}
+
+std::map<std::uint32_t, std::string> Registry::span_site_names() const {
+  std::lock_guard lock(mutex_);
+  return site_names_;
+}
+
 }  // namespace sfc::obs

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -26,6 +27,8 @@
 #include "runtime/histogram.hpp"
 
 namespace sfc::obs {
+
+class SpanCollector;  // obs/span.hpp
 
 /// Metric identity labels, e.g. {{"node","3"},{"pos","1"}}. Order does not
 /// matter for identity; the registry canonicalizes by sorting.
@@ -79,6 +82,11 @@ class Timer : rt::NonCopyable {
   rt::Histogram snapshot() const {
     std::lock_guard lock(mutex_);
     return hist_;
+  }
+
+  void reset() noexcept {
+    std::lock_guard lock(mutex_);
+    hist_.reset();
   }
 
  private:
@@ -140,6 +148,30 @@ class Registry : rt::NonCopyable {
 
   std::size_t metric_count() const;
 
+  /// Zeroes every registered counter and timer (gauges and callback
+  /// metrics keep their owners' state). Benches call this between warmup
+  /// and the measured window so reported totals cover only the window.
+  void reset_counters();
+
+  // --- Span pipeline hooks (obs/span.hpp). -------------------------------
+  // The SpanCollector registers itself here so per-packet instrumentation
+  // points can reach it through the registry pointer they already hold.
+  // span_sink() is a raw acquire load — the single cheap step after the
+  // trace-id branch on the hot path. Install/uninstall only while the
+  // chain is quiescent or before traffic starts.
+
+  void set_span_sink(SpanCollector* sink) noexcept {
+    span_sink_.store(sink, std::memory_order_release);
+  }
+  SpanCollector* span_sink() const noexcept {
+    return span_sink_.load(std::memory_order_acquire);
+  }
+
+  /// Associates a human-readable name with a span site id (one track in
+  /// the Chrome trace export).
+  void name_span_site(std::uint32_t site, std::string name);
+  std::map<std::uint32_t, std::string> span_site_names() const;
+
  private:
   template <typename T>
   struct Entry {
@@ -180,6 +212,8 @@ class Registry : rt::NonCopyable {
   std::deque<GaugeFnEntry> gauge_fns_;
   std::deque<HistFnEntry> hist_fns_;
   std::unordered_map<std::string, void*> index_;
+  std::map<std::uint32_t, std::string> site_names_;
+  std::atomic<SpanCollector*> span_sink_{nullptr};
 };
 
 }  // namespace sfc::obs

@@ -3,12 +3,27 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/span.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/logging.hpp"
 
 namespace sfc::orch {
 
 using ftc::CtrlMsg;
+
+namespace {
+
+/// Recovery-phase span on the orchestrator track. Protocol-rate: the sink
+/// check is the gate (no per-packet cost involved).
+inline void span_event(obs::Registry& reg, std::uint32_t position,
+                       obs::SpanKind kind, std::uint64_t a = 0) noexcept {
+  if (auto* sink = reg.span_sink()) {
+    sink->record(obs::SpanRecord{obs::recovery_trace_id(position),
+                                 rt::now_ns(), a, obs::kSpanSiteOrch, kind});
+  }
+}
+
+}  // namespace
 
 Orchestrator::Orchestrator(ftc::ChainRuntime& chain, OrchestratorConfig cfg)
     : chain_(chain), cfg_(cfg), ctrl_(chain.control()) {
@@ -19,6 +34,7 @@ Orchestrator::Orchestrator(ftc::ChainRuntime& chain, OrchestratorConfig cfg)
   failures_counter_ = &registry.counter("orch.failures_detected", labels);
   recoveries_ = &registry.counter("orch.recoveries", labels);
   trace_ = &registry.trace("orch.events", labels);
+  registry.name_span_site(obs::kSpanSiteOrch, "orchestrator");
 }
 
 Orchestrator::~Orchestrator() { stop(); }
@@ -50,6 +66,7 @@ bool Orchestrator::monitor_body() {
     if (!first_sight && now - it->second > cfg_.failure_timeout_ns) {
       failed_positions.push_back(pos);
       trace_->emit(obs::Event::kFailureDetected, node->id(), pos);
+      span_event(chain_.registry(), pos, obs::SpanKind::kDetect, node->id());
       continue;
     }
     net::Message ping;
@@ -90,6 +107,13 @@ std::vector<RecoveryReport> Orchestrator::recover(
   };
   std::vector<Pending> pending;
 
+  // Manual recoveries (no monitor detection) get their "failure became
+  // known" timestamp here; the monitor's earlier kDetect wins otherwise
+  // (recovery_timelines keeps the first occurrence).
+  for (std::uint32_t pos : positions) {
+    span_event(chain_.registry(), pos, obs::SpanKind::kDetect);
+  }
+
   // Step 1: spawn all replacements and hand each its fetch plan. Spawns
   // overlap; the simulated instantiation cost is paid once up front.
   std::this_thread::sleep_for(std::chrono::nanoseconds(cfg_.spawn_delay_ns));
@@ -103,6 +127,7 @@ std::vector<RecoveryReport> Orchestrator::recover(
     p.node = chain_.spawn_replacement(pos);
     p.report.new_node = p.node->id();
     trace_->emit(obs::Event::kRecoverySpawn, p.node->id(), pos);
+    span_event(chain_.registry(), pos, obs::SpanKind::kSpawn, p.node->id());
     p.tag = 0xFEC0000000000000ull | p.node->id();
     pending.push_back(p);
   }
@@ -147,6 +172,8 @@ std::vector<RecoveryReport> Orchestrator::recover(
         p.acked = true;
         p.report.initialization_ns = rt::now_ns() - p.start_ns;
         trace_->emit(obs::Event::kRecoveryInitAck, p.node->id());
+        span_event(chain_.registry(), p.report.position,
+                   obs::SpanKind::kInitAck, p.node->id());
       } else if (msg->type == CtrlMsg::kRecovered && !p.done) {
         p.done = true;
         --outstanding;
@@ -175,6 +202,8 @@ std::vector<RecoveryReport> Orchestrator::recover(
     recoveries_->inc();
     trace_->emit(obs::Event::kRecoveryRerouted, p.node->id(),
                  p.report.position);
+    span_event(chain_.registry(), p.report.position, obs::SpanKind::kReroute,
+               p.report.position);
     chain_.registry()
         .timer("orch.recovery_total_ns")
         .record(p.report.total_ns);

@@ -28,6 +28,7 @@ class PacketPool;
 struct Annotations {
   std::uint64_t ingress_ns{0};   ///< Generator timestamp for latency.
   std::uint64_t packet_id{0};    ///< Unique id assigned by the generator.
+  std::uint64_t trace_id{0};     ///< Nonzero = sampled for span tracing.
   std::uint32_t flow_hash{0};    ///< RSS hash over the 5-tuple.
   std::uint16_t l3_offset{0};    ///< Offset of the IPv4 header.
   std::uint16_t l4_offset{0};    ///< Offset of the TCP/UDP header.

@@ -7,8 +7,14 @@
 namespace sfc::tgen {
 
 TrafficSource::TrafficSource(pkt::PacketPool& pool, net::Link& out,
-                             Workload workload, double rate_pps)
-    : pool_(pool), out_(out), workload_(workload), limiter_(rate_pps) {}
+                             Workload workload, double rate_pps,
+                             obs::SpanCollector* spans)
+    : pool_(pool),
+      out_(out),
+      workload_(workload),
+      limiter_(rate_pps),
+      sampler_(workload.trace_sample, workload.seed),
+      spans_(spans) {}
 
 void TrafficSource::start() {
   if (worker_) return;
@@ -38,6 +44,13 @@ bool TrafficSource::body() {
   p->anno().packet_id = id;
   p->anno().ingress_ns = rt::now_ns();
   p->anno().flow_hash = flow.rss_hash();
+  // Trace id = packet id (nonzero by construction), so spans across the
+  // chain key directly back to the generator's sequence number.
+  const std::uint64_t trace_id =
+      (spans_ != nullptr && sampler_.sampled(id)) ? id : 0;
+  p->anno().trace_id = trace_id;
+  const std::uint64_t flow_hash = p->anno().flow_hash;
+  const std::uint64_t emit_ns = p->anno().ingress_ns;
 
   if (!out_.send(p)) {
     // Ingress queue full: count it as offered-but-not-admitted.
@@ -45,12 +58,19 @@ bool TrafficSource::body() {
     sent_.fetch_sub(1, std::memory_order_relaxed);
     return false;
   }
+  // Past this point the packet belongs to the chain; use cached values.
+  if (trace_id != 0) {
+    spans_->record(obs::SpanRecord{trace_id, emit_ns, flow_hash,
+                                   obs::kSpanSiteGen,
+                                   obs::SpanKind::kGenEmit});
+  }
   meter_.add(1, workload_.frame_len);
   return true;
 }
 
-TrafficSink::TrafficSink(pkt::PacketPool& pool, net::Link& in)
-    : pool_(pool), in_(in) {}
+TrafficSink::TrafficSink(pkt::PacketPool& pool, net::Link& in,
+                         obs::SpanCollector* spans)
+    : pool_(pool), in_(in), spans_(spans) {}
 
 void TrafficSink::start() {
   if (worker_) return;
@@ -64,7 +84,13 @@ bool TrafficSink::body() {
   pkt::Packet* p = in_.poll();
   if (p == nullptr) return false;
   if (!p->anno().is_control && p->anno().ingress_ns != 0) {
-    const std::uint64_t lat = rt::now_ns() - p->anno().ingress_ns;
+    const std::uint64_t now = rt::now_ns();
+    const std::uint64_t lat = now - p->anno().ingress_ns;
+    if (p->anno().trace_id != 0 && spans_ != nullptr) {
+      spans_->record(obs::SpanRecord{p->anno().trace_id, now, lat,
+                                     obs::kSpanSiteSink,
+                                     obs::SpanKind::kSinkRecv});
+    }
     received_.fetch_add(1, std::memory_order_relaxed);
     meter_.add(1, p->size());
     std::lock_guard lock(latency_mutex_);
@@ -76,9 +102,11 @@ bool TrafficSink::body() {
 
 RunResult run_load(pkt::PacketPool& pool, net::Link& ingress, net::Link& egress,
                    const Workload& workload, double rate_pps,
-                   double duration_s, double warmup_s) {
-  TrafficSource source(pool, ingress, workload, rate_pps);
-  TrafficSink sink(pool, egress);
+                   double duration_s, double warmup_s,
+                   obs::SpanCollector* spans,
+                   const std::function<void()>& on_measure_start) {
+  TrafficSource source(pool, ingress, workload, rate_pps, spans);
+  TrafficSink sink(pool, egress, spans);
   sink.start();
   source.start();
 
@@ -89,6 +117,7 @@ RunResult run_load(pkt::PacketPool& pool, net::Link& ingress, net::Link& egress,
 
   sleep_for(warmup_s);
   sink.reset_latency();
+  if (on_measure_start) on_measure_start();
   const std::uint64_t sent0 = source.packets_sent();
   const std::uint64_t recv0 = sink.packets_received();
   const std::uint64_t bytes0 = sink.meter().bytes();

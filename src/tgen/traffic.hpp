@@ -9,11 +9,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "net/link.hpp"
+#include "obs/span.hpp"
 #include "packet/packet_io.hpp"
 #include "packet/packet_pool.hpp"
 #include "runtime/histogram.hpp"
@@ -33,6 +35,9 @@ struct Workload {
   std::uint16_t src_port_base{20000};
   std::uint16_t dst_port{443};
   std::uint64_t seed{42};
+  /// Span tracing: stamp every Nth packet (deterministically, by hashed
+  /// packet id) with a trace id. 0 = tracing off, 1 = every packet.
+  std::uint64_t trace_sample{0};
 
   pkt::FlowKey flow(std::size_t i) const noexcept {
     pkt::FlowKey f;
@@ -48,8 +53,10 @@ struct Workload {
 class TrafficSource : rt::NonCopyable {
  public:
   /// @param rate_pps 0 = unlimited (pool back-pressure sets the pace).
+  /// @param spans Span collector for sampled-packet tracing; pass null (or
+  ///              leave workload.trace_sample at 0) to disable.
   TrafficSource(pkt::PacketPool& pool, net::Link& out, Workload workload,
-                double rate_pps = 0.0);
+                double rate_pps = 0.0, obs::SpanCollector* spans = nullptr);
   ~TrafficSource() { stop(); }
 
   void start();
@@ -66,6 +73,8 @@ class TrafficSource : rt::NonCopyable {
   net::Link& out_;
   const Workload workload_;
   rt::RateLimiter limiter_;
+  const obs::SpanSampler sampler_;
+  obs::SpanCollector* spans_{nullptr};
   std::unique_ptr<rt::Worker> worker_;
 
   std::size_t next_flow_{0};
@@ -76,7 +85,8 @@ class TrafficSource : rt::NonCopyable {
 
 class TrafficSink : rt::NonCopyable {
  public:
-  TrafficSink(pkt::PacketPool& pool, net::Link& in);
+  TrafficSink(pkt::PacketPool& pool, net::Link& in,
+              obs::SpanCollector* spans = nullptr);
   ~TrafficSink() { stop(); }
 
   void start();
@@ -101,6 +111,7 @@ class TrafficSink : rt::NonCopyable {
 
   pkt::PacketPool& pool_;
   net::Link& in_;
+  obs::SpanCollector* spans_{nullptr};
   std::unique_ptr<rt::Worker> worker_;
   std::atomic<std::uint64_t> received_{0};
   rt::Meter meter_;
@@ -130,8 +141,15 @@ struct RunResult {
 /// Drives @p workload through ingress/egress links for @p duration_s
 /// seconds at @p rate_pps (0 = max) after @p warmup_s of warmup, and
 /// reports delivered throughput and latency.
+/// @param spans Collector for sampled-packet spans (needs
+///              workload.trace_sample > 0 to have any effect).
+/// @param on_measure_start Called once at the warmup/measurement boundary
+///              (benches use it to reset registry counters and spans so the
+///              report covers the measured window only).
 RunResult run_load(pkt::PacketPool& pool, net::Link& ingress, net::Link& egress,
                    const Workload& workload, double rate_pps,
-                   double duration_s, double warmup_s = 0.2);
+                   double duration_s, double warmup_s = 0.2,
+                   obs::SpanCollector* spans = nullptr,
+                   const std::function<void()>& on_measure_start = {});
 
 }  // namespace sfc::tgen

@@ -192,6 +192,40 @@ TEST(Export, ReportWritesBenchJson) {
   EXPECT_NE(content.find("\"p99\""), std::string::npos);
 }
 
+TEST(Registry, ResetCountersClearsCountersAndTimers) {
+  Registry registry;
+  registry.counter("pkts").add(10);
+  registry.gauge("depth").set(5);
+  registry.timer("lat_ns").record(1234);
+
+  registry.reset_counters();
+
+  const auto samples = registry.snapshot();
+  for (const auto& s : samples) {
+    if (s.name == "pkts") {
+      EXPECT_EQ(s.value, 0.0);
+    } else if (s.name == "depth") {
+      EXPECT_EQ(s.value, 5.0);  // Gauges keep state.
+    } else if (s.name == "lat_ns") {
+      EXPECT_EQ(s.hist.count(), 0u);
+    }
+  }
+  // Metrics stay registered (same addresses) after a reset.
+  registry.counter("pkts").inc();
+  EXPECT_EQ(registry.counter("pkts").value(), 1u);
+}
+
+TEST(Export, TextIncludesTimerQuantiles) {
+  Registry registry;
+  auto& t = registry.timer("lat_ns");
+  for (int i = 1; i <= 1000; ++i) t.record(i * 1000);
+  const std::string text = to_text(registry);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p90="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  EXPECT_NE(text.find("p999="), std::string::npos);
+}
+
 TEST(Export, ExporterDumpsPeriodically) {
   Registry registry;
   registry.counter("ticks").inc();
