@@ -3,9 +3,14 @@
 // by costing each building block in isolation.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <numeric>
+
+#include "core/config.hpp"
 #include "core/piggyback.hpp"
 #include "obs/export.hpp"
 #include "core/stores.hpp"
+#include "net/link.hpp"
 #include "packet/packet_io.hpp"
 #include "packet/packet_pool.hpp"
 #include "runtime/mpmc_queue.hpp"
@@ -15,6 +20,10 @@
 namespace {
 
 using namespace sfc;
+
+// Data-path burst size for the link send/poll benchmark; set by --burst
+// (the CI bench-smoke job runs --burst 1 vs --burst 32 and compares).
+std::size_t g_burst = 32;
 
 void BM_SpscQueuePushPop(benchmark::State& state) {
   rt::SpscQueue<std::uint64_t> q(1024);
@@ -35,6 +44,46 @@ void BM_MpmcQueuePushPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MpmcQueuePushPop);
+
+void BM_MpmcQueueBulkPushPop(benchmark::State& state) {
+  // Per-burst cost of the bulk queue ops (one CAS per burst): the sweep
+  // over 1/8/32/128 shows the amortization the data path relies on.
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  rt::MpmcQueue<std::uint64_t> q(1024);
+  std::vector<std::uint64_t> in(burst), out(burst);
+  std::iota(in.begin(), in.end(), 0);
+  for (auto _ : state) {
+    q.try_push_n({in.data(), burst});
+    benchmark::DoNotOptimize(q.try_pop_n(out.data(), burst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst));
+}
+BENCHMARK(BM_MpmcQueueBulkPushPop)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LinkBurstSendPoll(benchmark::State& state) {
+  // Fast-path link traversal cost per burst (queue reservation + counter
+  // updates). Registered with the --burst flag's value so CI can compare
+  // runs at different burst sizes by name.
+  const auto burst = static_cast<std::size_t>(state.range(0));
+  pkt::PacketPool pool(1024);
+  net::Link link(pool, net::LinkConfig{});
+  const pkt::FlowKey flow{0x0a000001, 0x08080808, 1234, 80,
+                          pkt::Ipv4Header::kProtoUdp};
+  std::vector<pkt::Packet*> pkts(burst);
+  for (auto& p : pkts) {
+    p = pool.alloc_raw();
+    pkt::PacketBuilder(*p).udp(flow, 256);
+  }
+  for (auto _ : state) {
+    link.send_burst({pkts.data(), burst});
+    // The pop returns the same pointers in order; reuse them next round.
+    benchmark::DoNotOptimize(link.poll_burst(pkts.data(), burst));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(burst));
+  for (auto* p : pkts) pool.free_raw(p);
+}
 
 void BM_PacketBuildParse(benchmark::State& state) {
   pkt::Packet p;
@@ -146,6 +195,26 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 // Expanded BENCHMARK_MAIN() with a capturing reporter + JSON report.
 int main(int argc, char** argv) {
+  // Parse and strip our own --burst flag before google-benchmark sees the
+  // argument vector (it rejects flags it does not recognize).
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--burst" && i + 1 < argc) {
+      g_burst = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--burst=", 0) == 0) {
+      g_burst = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + std::strlen("--burst="), nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (g_burst < 1) g_burst = 1;
+  if (g_burst > ftc::kMaxBurst) g_burst = ftc::kMaxBurst;
+  benchmark::RegisterBenchmark("BM_LinkBurstSendPoll", BM_LinkBurstSendPoll)
+      ->Arg(static_cast<long>(g_burst));
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CapturingReporter reporter;
@@ -153,8 +222,17 @@ int main(int argc, char** argv) {
 
   obs::Report report("micro_ops");
   report.meta("harness", "google-benchmark");
+  report.meta("burst", std::to_string(g_burst));
   for (const auto& [name, real_time_ns] : reporter.captured()) {
     report.metric("real_time_ns", real_time_ns, {{"benchmark", name}});
+    // Per-packet view of the burst benchmark so runs at different burst
+    // sizes are directly comparable (CI enforces burst-32 <= burst-1).
+    if (name.rfind("BM_LinkBurstSendPoll", 0) == 0) {
+      report.metric("ns_per_packet",
+                    real_time_ns / static_cast<double>(g_burst),
+                    {{"benchmark", "BM_LinkBurstSendPoll"},
+                     {"burst", std::to_string(g_burst)}});
+    }
   }
   const std::string path = report.write();
   if (!path.empty()) std::printf("results: %s\n", path.c_str());

@@ -42,6 +42,7 @@ struct Options {
   double duration_s{2.0};
   std::size_t flows{64};
   std::size_t frame_len{256};
+  std::size_t burst{32};
   double loss{0.0};
   double reorder{0.0};
   double link_delay_us{0.0};
@@ -68,6 +69,7 @@ void usage() {
       "  --duration SEC      run time (default 2)\n"
       "  --flows N           concurrent flows (default 64)\n"
       "  --frame BYTES       frame size (default 256)\n"
+      "  --burst N           data-path burst size, 1 = per-packet (default 32)\n"
       "  --loss P            per-link packet drop probability (default 0)\n"
       "  --reorder P         per-link reorder probability (default 0)\n"
       "  --link-delay US     per-link one-way delay in microseconds\n"
@@ -181,6 +183,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next("--frame");
       if (v == nullptr) return false;
       opt.frame_len = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--burst") {
+      const char* v = next("--burst");
+      if (v == nullptr) return false;
+      opt.burst = static_cast<std::size_t>(std::atoi(v));
+      if (opt.burst == 0) opt.burst = 1;
     } else if (arg == "--loss") {
       const char* v = next("--loss");
       if (v == nullptr) return false;
@@ -249,6 +256,7 @@ int main(int argc, char** argv) {
   spec.mode = opt.mode;
   spec.cfg.f = opt.f;
   spec.cfg.threads_per_node = opt.threads;
+  spec.cfg.burst_size = opt.burst;
   spec.cfg.link.loss = opt.loss;
   spec.cfg.link.reorder = opt.reorder;
   spec.cfg.link.delay_ns = static_cast<std::uint64_t>(opt.link_delay_us * 1e3);
@@ -288,6 +296,7 @@ int main(int argc, char** argv) {
   tgen::Workload workload;
   workload.num_flows = opt.flows;
   workload.frame_len = opt.frame_len;
+  workload.burst = opt.burst;
   if (spans_on) workload.trace_sample = opt.trace_sample;
   tgen::TrafficSource source(chain.pool(), chain.ingress(), workload,
                              opt.rate_pps, spans.get());

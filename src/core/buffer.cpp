@@ -60,11 +60,22 @@ void EgressBuffer::release_locked(Held& held) {
     span_event(registry_, held.packet->anno().trace_id,
                obs::SpanKind::kBufferRelease);
   }
-  // The egress link is drained by the measurement sink; block rather than
-  // lose a released packet.
-  egress_.send_blocking(held.packet);
+  release_stage_[n_stage_++] = held.packet;
   held.packet = nullptr;
-  released_->inc();
+  if (n_stage_ == kMaxBurst) flush_releases_locked();
+}
+
+void EgressBuffer::flush_releases_locked() {
+  if (n_stage_ == 0) return;
+  // The egress link is drained by the measurement sink; block rather than
+  // lose a released packet. One bulk send covers the common case; only
+  // stragglers (egress momentarily full) fall back to blocking sends.
+  const std::size_t sent = egress_.send_burst({release_stage_, n_stage_});
+  for (std::size_t i = sent; i < n_stage_; ++i) {
+    egress_.send_blocking(release_stage_[i]);
+  }
+  released_->add(n_stage_);
+  n_stage_ = 0;
 }
 
 void EgressBuffer::absorb(std::span<const CommitVector> commits) {
@@ -134,6 +145,7 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
       }
     }
   }
+  flush_releases_locked();
   held_gauge_->set(static_cast<std::int64_t>(held_.size()));
   lock.unlock();
 
@@ -156,6 +168,7 @@ void EgressBuffer::release_eligible() {
       ++it;
     }
   }
+  flush_releases_locked();
   held_gauge_->set(static_cast<std::int64_t>(held_.size()));
 }
 

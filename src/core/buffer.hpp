@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/forwarder.hpp"
 #include "core/piggyback.hpp"
 #include "net/link.hpp"
@@ -68,7 +69,10 @@ class EgressBuffer : rt::NonCopyable {
   };
 
   bool is_covered(const Held& held) const;
+  /// Stages @p held's packet for release; flush_releases_locked() ships the
+  /// whole batch with one bulk send (releases within a submit/scan coalesce).
   void release_locked(Held& held);
+  void flush_releases_locked();
 
   pkt::PacketPool& pool_;
   net::Link& egress_;
@@ -79,6 +83,11 @@ class EgressBuffer : rt::NonCopyable {
   std::deque<Held> held_;
   std::unordered_map<MboxId, MaxVector> known_commits_;
   std::uint64_t full_scans_{0};
+
+  // Release staging (guarded by mutex_): packets released by the current
+  // submit/scan, shipped in order with one send_burst.
+  std::size_t n_stage_{0};
+  pkt::Packet* release_stage_[kMaxBurst];
 
   std::unique_ptr<obs::Registry> own_registry_;
   obs::Counter* submitted_;

@@ -26,10 +26,23 @@ constexpr const char* to_string(ChainMode m) noexcept {
   return "?";
 }
 
+/// Upper bound on the data-path burst size (rx/tx arrays live on worker
+/// stacks; DPDK caps its burst the same way).
+inline constexpr std::size_t kMaxBurst = 256;
+
 struct ChainConfig {
   /// Failures tolerated: each middlebox's state is replicated on f+1
   /// servers along the chain.
   std::uint32_t f{1};
+
+  /// Rx/tx burst size on the data path (Click/DPDK-style batching, the
+  /// amortization the paper's 10 GbE line-rate numbers rely on): workers
+  /// poll up to this many packets per iteration, hoist per-packet
+  /// bookkeeping into per-burst accumulators, and stage egress into one
+  /// bulk send. 1 = per-packet (pre-batching) behavior. Clamped to
+  /// [1, kMaxBurst]. Protocol semantics are burst-invariant: parks, NACKs,
+  /// and commit attach all operate per packet.
+  std::size_t burst_size{32};
 
   /// State partitions per store (the paper picks this above the maximum
   /// core count to reduce lock contention). Power of two, <= 64.

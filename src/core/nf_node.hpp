@@ -4,6 +4,7 @@
 // messages, no replication, no logging.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -41,6 +42,7 @@ class NfNode : rt::NonCopyable {
       registry_->name_span_site(obs::span_site_node(position_),
                                 "nf pos" + std::to_string(position_));
     }
+    burst_size_ = std::clamp<std::size_t>(cfg.burst_size, 1, kMaxBurst);
   }
 
   ~NfNode() { stop(); }
@@ -65,9 +67,11 @@ class NfNode : rt::NonCopyable {
     return busy_hist_.count() ? static_cast<double>(busy_hist_.p50()) : 0.0;
   }
 
-  void record_busy(std::uint64_t cycles) {
+  /// @param weight Packets covered by the (per-packet averaged) sample,
+  ///               keeping the median packet-weighted under bursting.
+  void record_busy(std::uint64_t cycles, std::uint64_t weight = 1) {
     std::lock_guard lock(busy_mutex_);
-    busy_hist_.record(cycles);
+    busy_hist_.record_n(cycles, weight);
   }
 
   state::StateStore& store() noexcept { return store_; }
@@ -76,6 +80,8 @@ class NfNode : rt::NonCopyable {
 
  private:
   bool worker_body(std::uint32_t thread_id);
+  /// Parse + transaction for one packet. Returns false when dropped.
+  bool process_packet(pkt::Packet* p, std::uint32_t thread_id);
 
   const std::uint32_t position_;
   const ChainConfig& cfg_;
@@ -90,6 +96,7 @@ class NfNode : rt::NonCopyable {
   std::vector<std::unique_ptr<rt::Worker>> workers_;
   rt::Meter meter_;
   std::atomic<std::uint64_t> drops_{0};
+  std::size_t burst_size_{1};  ///< cfg.burst_size clamped to [1, kMaxBurst].
   bool account_cycles_{false};
   mutable std::mutex busy_mutex_;
   rt::Histogram busy_hist_;

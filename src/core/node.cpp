@@ -27,6 +27,28 @@ inline void span_event(obs::Registry* reg, std::uint32_t site,
 // processing the current packet; subtracted from busy accounting.
 thread_local std::uint64_t t_blocked_cycles = 0;
 
+// Per-thread burst scope. While a data worker processes one rx burst, its
+// egress packets are staged in `tx` (flushed with one send_burst) and the
+// per-packet bookkeeping (meter, packets_processed, cycle breakdown)
+// accumulates here, flushed once per burst. Callers outside the owning
+// node's burst loop — the control worker draining parked packets, the
+// propagation path — see `owner != this` and take the immediate path, so
+// protocol semantics never depend on an open scope.
+struct BurstScope {
+  sfc::ftc::FtcNode* owner{nullptr};
+  sfc::net::Link* out{nullptr};
+  std::size_t n_tx{0};
+  std::uint64_t data_packets{0};
+  std::uint64_t data_bytes{0};
+  std::uint64_t control_packets{0};
+  std::uint64_t cyc_packets{0};
+  std::uint64_t cyc_process{0};
+  std::uint64_t cyc_piggyback{0};
+  std::uint64_t cyc_forward{0};
+  pkt::Packet* tx[sfc::ftc::kMaxBurst];
+};
+thread_local BurstScope t_burst;
+
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
   out.insert(out.end(), p, p + 4);
@@ -107,6 +129,11 @@ FtcNode::FtcNode(Params params)
       appliers_.emplace(m, std::make_unique<InOrderApplier>(m, cfg_));
     }
   }
+  // Hot-path caches (appliers_ is immutable from here on).
+  for (const auto& [m, a] : appliers_) applier_cache_.emplace_back(m, a.get());
+  tail_mbox_ = tail_of();
+  tail_applier_ = tail_mbox_ != ring_size_ ? applier(tail_mbox_) : nullptr;
+  burst_size_ = std::clamp<std::size_t>(cfg_.burst_size, 1, kMaxBurst);
 }
 
 FtcNode::~FtcNode() {
@@ -122,8 +149,17 @@ void FtcNode::attach_data_path(net::Link* in, net::Link* out) {
 }
 
 InOrderApplier* FtcNode::applier(MboxId mbox) noexcept {
-  const auto it = appliers_.find(mbox);
-  return it != appliers_.end() ? it->second.get() : nullptr;
+  if (applier_cache_.empty()) {
+    // Construction-time call (the cache is built after appliers_).
+    const auto it = appliers_.find(mbox);
+    return it != appliers_.end() ? it->second.get() : nullptr;
+  }
+  // At most f entries (usually one): a linear scan of a flat array beats
+  // the std::map walk on the per-packet path.
+  for (const auto& [m, a] : applier_cache_) {
+    if (m == mbox) return a;
+  }
+  return nullptr;
 }
 
 std::uint32_t FtcNode::tail_of() const noexcept {
@@ -203,29 +239,52 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
 
   net::Link* in = in_link_.load(std::memory_order_acquire);
   if (in != nullptr) {
-    if (pkt::Packet* p = in->poll()) {
-      if (p->anno().trace_id != 0) {
-        span_event(registry_, obs::span_site_node(id_), p->anno().trace_id,
-                   obs::SpanKind::kNodeIngress, position_);
-      }
-      Work work;
-      work.packet = p;
-      work.thread_id = thread_id;
+    pkt::Packet* rx[kMaxBurst];
+    const std::size_t got = in->poll_burst(rx, burst_size_);
+    if (got != 0) {
+      // Open the per-thread burst scope: emits from this burst stage into
+      // t_burst.tx and per-packet bookkeeping accumulates, all flushed once
+      // below.
+      BurstScope& b = t_burst;
+      b.owner = this;
+      b.out = out_link_.load(std::memory_order_acquire);
       const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
-      if (forwarder_ != nullptr) {
-        // Chain ingress: outside packets carry no message; attach pending
-        // feedback from the buffer.
-        work.msg = forwarder_->collect();
-      } else if (auto msg = extract_message(*p)) {
-        work.msg = std::move(*msg);
+      if (account_cycles_) t_blocked_cycles = 0;
+      for (std::size_t i = 0; i < got; ++i) ingest_packet(rx[i], thread_id);
+      b.owner = nullptr;
+      // Flush staged egress with one bulk send; stragglers block with
+      // backpressure accounting, exactly like a per-packet send would.
+      if (b.n_tx != 0) {
+        const std::size_t sent = b.out->send_burst({b.tx, b.n_tx});
+        if (sent < b.n_tx) {
+          const std::uint64_t w0 = account_cycles_ ? rt::rdtsc() : 0;
+          for (std::size_t i = sent; i < b.n_tx; ++i) {
+            if (!b.out->send_blocking(b.tx[i])) pool_.free_raw(b.tx[i]);
+          }
+          if (account_cycles_) t_blocked_cycles += rt::rdtsc() - w0;
+        }
+        b.n_tx = 0;
+      }
+      // One meter/counter update per burst instead of per packet.
+      if (b.data_packets != 0) {
+        meter_.add(b.data_packets, b.data_bytes);
+        stats_.packets_processed->add(b.data_packets);
+        b.data_packets = 0;
+        b.data_bytes = 0;
+      }
+      if (b.control_packets != 0) {
+        stats_.control_packets->add(b.control_packets);
+        b.control_packets = 0;
       }
       if (account_cycles_) {
-        cyc_piggyback_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
-        t_blocked_cycles = 0;
-        process_work(std::move(work));
-        record_busy(rt::rdtsc() - t0 - t_blocked_cycles);
-      } else {
-        process_work(std::move(work));
+        cyc_packets_.fetch_add(b.cyc_packets, std::memory_order_relaxed);
+        cyc_process_.fetch_add(b.cyc_process, std::memory_order_relaxed);
+        cyc_piggyback_.fetch_add(b.cyc_piggyback, std::memory_order_relaxed);
+        cyc_forward_.fetch_add(b.cyc_forward, std::memory_order_relaxed);
+        b.cyc_packets = b.cyc_process = b.cyc_piggyback = b.cyc_forward = 0;
+        // Busy accounting records the per-packet average so the pipeline
+        // throughput metric stays burst-invariant.
+        record_busy((rt::rdtsc() - t0 - t_blocked_cycles) / got, got);
       }
       did_work = true;
     }
@@ -233,6 +292,26 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
 
   active_workers_.fetch_sub(1, std::memory_order_acq_rel);
   return did_work;
+}
+
+void FtcNode::ingest_packet(pkt::Packet* p, std::uint32_t thread_id) {
+  if (SFC_UNLIKELY(p->anno().trace_id != 0)) {
+    span_event(registry_, obs::span_site_node(id_), p->anno().trace_id,
+               obs::SpanKind::kNodeIngress, position_);
+  }
+  Work work;
+  work.packet = p;
+  work.thread_id = thread_id;
+  const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
+  if (forwarder_ != nullptr) {
+    // Chain ingress: outside packets carry no message; attach pending
+    // feedback from the buffer.
+    work.msg = forwarder_->collect();
+  } else if (auto msg = extract_message(*p)) {
+    work.msg = std::move(*msg);
+  }
+  if (account_cycles_) t_burst.cyc_piggyback += rt::rdtsc() - t0;
+  process_work(std::move(work));
 }
 
 void FtcNode::process_work(Work&& work) {
@@ -283,7 +362,12 @@ bool FtcNode::apply_logs(Work& work) {
     }
   }
   if (account_cycles_) {
-    cyc_piggyback_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
+    const std::uint64_t d = rt::rdtsc() - t0;
+    if (t_burst.owner == this) {
+      t_burst.cyc_piggyback += d;
+    } else {
+      cyc_piggyback_.fetch_add(d, std::memory_order_relaxed);
+    }
   }
   if (traced && complete) {
     span_event(registry_, obs::span_site_node(id_),
@@ -319,28 +403,26 @@ void FtcNode::finish_work(Work&& work) {
 
   // --- Phase B: tail duty, pruning, commit stripping (paper §5.1). ---
   const std::uint64_t tb0 = account_cycles_ ? rt::rdtsc() : 0;
-  const std::uint32_t tail_mbox = tail_of();
-  if (tail_mbox != ring_size_) {
-    if (InOrderApplier* a = applier(tail_mbox)) {
-      if (!msg.logs.empty()) {
-        msg.strip_logs_of(tail_mbox);
-        if (trace_id != 0) {
-          span_event(registry_, obs::span_site_node(id_), trace_id,
-                     obs::SpanKind::kStrip, tail_mbox);
-        }
+  if (InOrderApplier* a = tail_applier_) {
+    const std::uint32_t tail_mbox = tail_mbox_;
+    if (!msg.logs.empty()) {
+      msg.strip_logs_of(tail_mbox);
+      if (trace_id != 0) {
+        span_event(registry_, obs::span_site_node(id_), trace_id,
+                   obs::SpanKind::kStrip, tail_mbox);
       }
-      // Attach the commit vector only when it advanced: re-announcing an
-      // unchanged MAX carries no information and costs 100+ bytes per
-      // packet on read-heavy workloads.
-      const std::uint64_t applied = a->applied_count();
-      if (applied != last_commit_attach_.load(std::memory_order_relaxed)) {
-        last_commit_attach_.store(applied, std::memory_order_relaxed);
-        msg.set_commit(tail_mbox, a->max());
-        trace_->emit(obs::Event::kCommitAttach, tail_mbox, applied);
-        if (trace_id != 0) {
-          span_event(registry_, obs::span_site_node(id_), trace_id,
-                     obs::SpanKind::kCommitAttach, tail_mbox);
-        }
+    }
+    // Attach the commit vector only when it advanced: re-announcing an
+    // unchanged MAX carries no information and costs 100+ bytes per
+    // packet on read-heavy workloads.
+    const std::uint64_t applied = a->applied_count();
+    if (applied != last_commit_attach_.load(std::memory_order_relaxed)) {
+      last_commit_attach_.store(applied, std::memory_order_relaxed);
+      msg.set_commit(tail_mbox, a->max());
+      trace_->emit(obs::Event::kCommitAttach, tail_mbox, applied);
+      if (trace_id != 0) {
+        span_event(registry_, obs::span_site_node(id_), trace_id,
+                   obs::SpanKind::kCommitAttach, tail_mbox);
       }
     }
   }
@@ -352,7 +434,12 @@ void FtcNode::finish_work(Work&& work) {
     if (InOrderApplier* a = applier(c.mbox)) a->prune(c.max);
   }
   if (account_cycles_) {
-    cyc_piggyback_.fetch_add(rt::rdtsc() - tb0, std::memory_order_relaxed);
+    const std::uint64_t d = rt::rdtsc() - tb0;
+    if (t_burst.owner == this) {
+      t_burst.cyc_piggyback += d;
+    } else {
+      cyc_piggyback_.fetch_add(d, std::memory_order_relaxed);
+    }
   }
 
   // --- Phase C: the packet transaction (paper §4.2). ---
@@ -381,8 +468,14 @@ void FtcNode::finish_work(Work&& work) {
       }
       if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
       if (account_cycles_) {
-        cyc_process_.fetch_add(rt::rdtsc() - t0, std::memory_order_relaxed);
-        cyc_packets_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t d = rt::rdtsc() - t0;
+        if (t_burst.owner == this) {
+          t_burst.cyc_process += d;
+          ++t_burst.cyc_packets;
+        } else {
+          cyc_process_.fetch_add(d, std::memory_order_relaxed);
+          cyc_packets_.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       if (trace_id != 0) {
         span_event(registry_, obs::span_site_node(id_), trace_id,
@@ -392,7 +485,15 @@ void FtcNode::finish_work(Work&& work) {
   }
 
   if (p->anno().is_control) {
-    stats_.control_packets->inc();
+    if (t_burst.owner == this) {
+      ++t_burst.control_packets;
+    } else {
+      stats_.control_packets->inc();
+    }
+  } else if (t_burst.owner == this) {
+    // Accumulate; worker_body flushes one meter/counter add per burst.
+    ++t_burst.data_packets;
+    t_burst.data_bytes += p->size();
   } else {
     meter_.add(1, p->size());
     stats_.packets_processed->inc();
@@ -410,7 +511,12 @@ void FtcNode::finish_work(Work&& work) {
   const std::uint64_t tf0 = account_cycles_ ? rt::rdtsc() : 0;
   emit(p, std::move(msg));
   if (account_cycles_) {
-    cyc_forward_.fetch_add(rt::rdtsc() - tf0, std::memory_order_relaxed);
+    const std::uint64_t d = rt::rdtsc() - tf0;
+    if (t_burst.owner == this) {
+      t_burst.cyc_forward += d;
+    } else {
+      cyc_forward_.fetch_add(d, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -428,27 +534,31 @@ void FtcNode::emit(pkt::Packet* p, PiggybackMessage&& msg) {
     pool_.free_raw(p);
     return;
   }
-  if (account_cycles_) {
-    // Exclude backpressure waits from busy accounting: a full downstream
-    // queue is the next stage's problem, not this stage's work.
-    if (append_message(*p, msg, cfg_.num_partitions)) {
-      if (!out->send(p)) {
-        const std::uint64_t w0 = rt::rdtsc();
-        if (!out->send_blocking(p)) pool_.free_raw(p);
-        t_blocked_cycles += rt::rdtsc() - w0;
-      }
-      return;
-    }
-  }
-  if (!append_message(*p, msg, cfg_.num_partitions)) {
+  if (SFC_UNLIKELY(!append_message(*p, msg, cfg_.num_partitions))) {
     // The message outgrew this packet's tailroom (paper: use jumbo
     // frames). Detour: ship the message on a dedicated propagating packet
-    // and send the data packet with an empty message.
+    // and send the data packet with an empty message (which always fits).
     stats_.oversize_detours->inc();
     emit_propagating(std::move(msg));
     append_message(*p, PiggybackMessage{}, cfg_.num_partitions);
   }
+  BurstScope& b = t_burst;
+  if (b.owner == this && b.out == out && b.n_tx < kMaxBurst) {
+    // Data-path burst in flight: stage; worker_body flushes the whole
+    // burst with one send_burst.
+    b.tx[b.n_tx++] = p;
+    return;
+  }
+  send_now(out, p);
+}
+
+void FtcNode::send_now(net::Link* out, pkt::Packet* p) {
+  if (out->send(p)) return;
+  // Exclude backpressure waits from busy accounting: a full downstream
+  // queue is the next stage's problem, not this stage's work.
+  const std::uint64_t w0 = account_cycles_ ? rt::rdtsc() : 0;
   if (!out->send_blocking(p)) pool_.free_raw(p);
+  if (account_cycles_) t_blocked_cycles += rt::rdtsc() - w0;
 }
 
 void FtcNode::emit_propagating(PiggybackMessage&& msg) {

@@ -180,9 +180,12 @@ class FtcNode : rt::NonCopyable {
     return busy_hist_.count() ? static_cast<double>(busy_hist_.p50()) : 0.0;
   }
 
-  void record_busy(std::uint64_t cycles) {
+  /// @param weight Number of packets the (per-packet averaged) sample
+  ///               covers: a full burst contributes one sample per packet,
+  ///               so the median is packet-weighted, not burst-weighted.
+  void record_busy(std::uint64_t cycles, std::uint64_t weight = 1) {
     std::lock_guard lock(busy_mutex_);
-    busy_hist_.record(cycles);
+    busy_hist_.record_n(cycles, weight);
   }
 
  private:
@@ -195,6 +198,8 @@ class FtcNode : rt::NonCopyable {
   };
 
   bool worker_body(std::uint32_t thread_id);
+  /// Runs one received packet through the pipeline (burst loop body).
+  void ingest_packet(pkt::Packet* p, std::uint32_t thread_id);
   void process_work(Work&& work);
   /// Phase A: applies piggyback logs in order. Returns false when blocked
   /// on a missing predecessor log (the caller parks the work).
@@ -203,6 +208,8 @@ class FtcNode : rt::NonCopyable {
   /// Phases B-D.
   void finish_work(Work&& work);
   void emit(pkt::Packet* p, PiggybackMessage&& msg);
+  /// Immediate (non-staged) send with blocked-cycle accounting.
+  void send_now(net::Link* out, pkt::Packet* p);
   void emit_propagating(PiggybackMessage&& msg);
   void drain_parked();
   void check_parked_timeouts();
@@ -234,6 +241,15 @@ class FtcNode : rt::NonCopyable {
   std::unique_ptr<mbox::Middlebox> mbox_;
   std::unique_ptr<HeadStore> head_;
   std::map<MboxId, std::unique_ptr<InOrderApplier>> appliers_;
+
+  // Hot-path caches, resolved once in the constructor (appliers_ is
+  // immutable after construction): applier() walks this flat array (at
+  // most f entries, usually one) instead of the std::map, and tail duty
+  // skips the per-packet tail_of() + lookup.
+  std::vector<std::pair<MboxId, InOrderApplier*>> applier_cache_;
+  std::uint32_t tail_mbox_{0};               ///< == ring_size_ if none.
+  InOrderApplier* tail_applier_{nullptr};
+  std::size_t burst_size_{1};                ///< cfg clamp to [1, kMaxBurst].
 
   // Tail duty: applied-count at the last commit-vector attach.
   std::atomic<std::uint64_t> last_commit_attach_{~0ULL};

@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "obs/span.hpp"
@@ -37,6 +38,7 @@ Link::Link(pkt::PacketPool& pool, LinkConfig cfg, obs::Registry* registry,
   delivered_ = &registry->counter("link.delivered", labels);
   dropped_loss_ = &registry->counter("link.dropped_loss", labels);
   dropped_full_ = &registry->counter("link.dropped_full", labels);
+  send_retries_ = &registry->counter("link.send_retries", labels);
 }
 
 bool Link::lossy_drop() noexcept {
@@ -101,11 +103,105 @@ bool Link::send(pkt::Packet* p) {
 
 bool Link::send_blocking(pkt::Packet* p, std::uint64_t timeout_ns) {
   const std::uint64_t deadline = rt::now_ns() + timeout_ns;
-  while (!send(p)) {
-    if (rt::now_ns() > deadline) return false;
-    std::this_thread::yield();
+  std::uint64_t retries = 0;
+  for (unsigned backoff = 1; !send(p); backoff = std::min(backoff * 2, 1024u)) {
+    if (rt::now_ns() > deadline) {
+      send_retries_->add(retries);
+      return false;
+    }
+    ++retries;
+    // Bounded exponential backoff: short cpu_relax bursts keep latency low
+    // when the consumer is about to free a slot; past ~64 spins the queue
+    // is genuinely backed up and yielding hands the core to the drainer.
+    if (backoff <= 64) {
+      for (unsigned i = 0; i < backoff; ++i) rt::cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
   }
+  if (retries != 0) send_retries_->add(retries);
   return true;
+}
+
+std::size_t Link::send_burst(std::span<pkt::Packet*> ps) {
+  if (ps.empty()) return 0;
+  if (fast_path_) {
+    // Ownership transfers at the push: the consumer may pop, free and
+    // recycle a packet before this function returns, so trace ids must be
+    // snapshotted BEFORE try_push_n (same ordering as send()).
+    constexpr std::size_t kChunk = 256;
+    std::uint64_t traced[kChunk];
+    std::size_t total = 0;
+    while (total < ps.size()) {
+      const auto chunk =
+          ps.subspan(total, std::min(kChunk, ps.size() - total));
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        traced[i] = chunk[i]->anno().trace_id;
+      }
+      const std::size_t n = fast_queue_.try_push_n(chunk);
+      if (n == 0) {
+        // The head packet found the queue full.
+        if (total == 0) dropped_full_->inc();
+        return total;
+      }
+      sent_->add(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (SFC_UNLIKELY(traced[i] != 0)) {
+          span_event(registry_, span_site_, traced[i],
+                     obs::SpanKind::kLinkEnter);
+        }
+      }
+      total += n;
+      if (n < chunk.size()) break;
+    }
+    return total;
+  }
+  // Timed path: per-packet semantics (each packet takes its own loss and
+  // reorder draw, in send order).
+  std::size_t n = 0;
+  while (n < ps.size() && send(ps[n])) ++n;
+  return n;
+}
+
+std::size_t Link::poll_burst(pkt::Packet** out, std::size_t max) {
+  if (max == 0) return 0;
+  if (fast_path_) {
+    const std::size_t n = fast_queue_.try_pop_n(out, max);
+    if (n == 0) return 0;
+    delivered_->add(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (SFC_UNLIKELY(out[i]->anno().trace_id != 0)) {
+        span_event(registry_, span_site_, out[i]->anno().trace_id,
+                   obs::SpanKind::kLinkExit);
+      }
+    }
+    return n;
+  }
+
+  std::lock_guard lock(mutex_);
+  const std::uint64_t now = rt::now_ns();
+  std::size_t n = 0;
+  // Drain every currently deliverable packet (delivery semantics identical
+  // to N poll() calls: ready head packets in order, with reordered ones
+  // skipped over until their extra delay elapses).
+  for (auto it = timed_queue_.begin(); n < max && it != timed_queue_.end();) {
+    if (it->deliver_at_ns <= now) {
+      out[n++] = it->packet;
+      it = timed_queue_.erase(it);
+      continue;
+    }
+    if (cfg_.reorder <= 0.0) break;  // FIFO queue: head not ready, none are.
+    ++it;
+  }
+  if (n == 0) return 0;
+  delivered_->add(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out[i]->anno().trace_id != 0) {
+      span_event(registry_, span_site_, out[i]->anno().trace_id,
+                 obs::SpanKind::kLinkExit);
+    }
+  }
+  return n;
 }
 
 pkt::Packet* Link::poll() {

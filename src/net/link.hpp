@@ -13,6 +13,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 
 #include "obs/registry.hpp"
@@ -57,12 +58,27 @@ class Link : rt::NonCopyable {
   /// wire loss.
   bool send(pkt::Packet* p);
 
-  /// Sends with bounded retry, yielding between attempts. Returns false
-  /// (caller keeps ownership) only if the link stayed full throughout.
+  /// Sends with bounded retry and exponential backoff (cpu_relax rounds
+  /// first, then yields). Returns false (caller keeps ownership) only if
+  /// the link stayed full throughout. Retry rounds are counted in the
+  /// `link.send_retries` registry counter.
   bool send_blocking(pkt::Packet* p, std::uint64_t timeout_ns = 1'000'000'000);
 
   /// Receives the next deliverable packet, or nullptr.
   pkt::Packet* poll();
+
+  /// Sends a prefix of @p ps, amortizing the queue reservation and the
+  /// counter updates over the burst (fast path: one CAS + one add(n)).
+  /// Returns the accepted prefix length; the caller keeps ownership of the
+  /// rest. On the timed path each packet keeps today's per-packet
+  /// semantics (loss/reorder draws happen per packet, in order).
+  std::size_t send_burst(std::span<pkt::Packet*> ps);
+
+  /// Receives up to @p max deliverable packets into @p out, in delivery
+  /// order, coalescing counter updates to one add(n). The timed
+  /// loss/reorder path drains every currently deliverable packet (up to
+  /// @p max) under a single lock acquisition.
+  std::size_t poll_burst(pkt::Packet** out, std::size_t max);
 
   LinkStats stats() const noexcept;
   const LinkConfig& config() const noexcept { return cfg_; }
@@ -98,6 +114,7 @@ class Link : rt::NonCopyable {
   obs::Counter* delivered_;
   obs::Counter* dropped_loss_;
   obs::Counter* dropped_full_;
+  obs::Counter* send_retries_;
 };
 
 }  // namespace sfc::net

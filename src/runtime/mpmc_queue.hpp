@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <utility>
 
 #include "runtime/common.hpp"
@@ -77,6 +78,88 @@ class MpmcQueue : NonCopyable {
     std::optional<T> out{std::move(slot->value)};
     slot->seq.store(pos + mask_ + 1, std::memory_order_release);
     return out;
+  }
+
+  /// Pushes a prefix of @p values, reserving the whole run of slots with a
+  /// single CAS on the producer cursor (vs one CAS per element for N
+  /// try_push calls). Moves from the consumed prefix and returns its
+  /// length; 0 when the queue is full. FIFO order of the burst is
+  /// preserved, and bursts interleave safely with singleton push/pop.
+  std::size_t try_push_n(std::span<T> values) noexcept {
+    if (values.empty()) return 0;
+    auto pos = head_.load(std::memory_order_relaxed);
+    std::size_t n;
+    for (;;) {
+      // Count the ready slots from pos forward. A slot counted ready
+      // cannot regress before our CAS: only the producer that wins
+      // position pos+i may touch it, and winning requires advancing
+      // head_ through pos — which would fail our CAS and retry.
+      n = 0;
+      while (n < values.size()) {
+        const auto seq =
+            slots_[(pos + n) & mask_].seq.load(std::memory_order_acquire);
+        if (seq != pos + n) break;
+        ++n;
+      }
+      if (n == 0) {
+        // Distinguish "full" from "lost the race to another producer".
+        const auto seq = slots_[pos & mask_].seq.load(std::memory_order_acquire);
+        if (static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos) <
+            0) {
+          return 0;  // Full.
+        }
+        pos = head_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (head_.compare_exchange_weak(pos, pos + n,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots_[(pos + i) & mask_];
+      slot.value = std::move(values[i]);
+      slot.seq.store(pos + i + 1, std::memory_order_release);
+    }
+    return n;
+  }
+
+  /// Pops up to @p max elements into @p out, reserving the contiguous run
+  /// of ready slots with a single CAS on the consumer cursor. Returns the
+  /// number popped (0 when empty). The run preserves queue order.
+  std::size_t try_pop_n(T* out, std::size_t max) noexcept {
+    if (max == 0) return 0;
+    auto pos = tail_.load(std::memory_order_relaxed);
+    std::size_t n;
+    for (;;) {
+      n = 0;
+      while (n < max) {
+        const auto seq =
+            slots_[(pos + n) & mask_].seq.load(std::memory_order_acquire);
+        if (seq != pos + n + 1) break;
+        ++n;
+      }
+      if (n == 0) {
+        const auto seq = slots_[pos & mask_].seq.load(std::memory_order_acquire);
+        if (static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos + 1) <
+            0) {
+          return 0;  // Empty.
+        }
+        pos = tail_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (tail_.compare_exchange_weak(pos, pos + n,
+                                      std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Slot& slot = slots_[(pos + i) & mask_];
+      out[i] = std::move(slot.value);
+      slot.seq.store(pos + i + mask_ + 1, std::memory_order_release);
+    }
+    return n;
   }
 
   std::size_t size_approx() const noexcept {

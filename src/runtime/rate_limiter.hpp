@@ -38,6 +38,20 @@ class RateLimiter {
     next_deadline_ns_ += gap_ns_;
   }
 
+  /// Non-blocking variant: true (and the deadline advances) when a packet
+  /// may be sent immediately, false when it would have to wait. Burst
+  /// fills use this to flush what they have instead of holding built
+  /// packets across inter-packet gaps (which would skew their latency).
+  bool try_send() noexcept {
+    if (gap_ns_ <= 0.0) return true;
+    const auto now = static_cast<double>(now_ns());
+    if (next_deadline_ns_ == 0.0) next_deadline_ns_ = now;
+    if (next_deadline_ns_ > now) return false;
+    if (now - next_deadline_ns_ > 1e6) next_deadline_ns_ = now;
+    next_deadline_ns_ += gap_ns_;
+    return true;
+  }
+
  private:
   double gap_ns_{0.0};
   double next_deadline_ns_{0.0};

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/config.hpp"
 #include "net/link.hpp"
 #include "obs/span.hpp"
 #include "packet/packet_io.hpp"
@@ -38,6 +39,11 @@ struct Workload {
   /// Span tracing: stamp every Nth packet (deterministically, by hashed
   /// packet id) with a trace id. 0 = tracing off, 1 = every packet.
   std::uint64_t trace_sample{0};
+  /// Source/sink burst size (clamped to [1, ftc::kMaxBurst]): the source
+  /// builds up to this many packets per iteration and injects them with
+  /// one bulk send; the sink drains in bursts. At a limited rate the fill
+  /// stops at the pacing deadline, so bursting never distorts latency.
+  std::size_t burst{32};
 
   pkt::FlowKey flow(std::size_t i) const noexcept {
     pkt::FlowKey f;
@@ -78,6 +84,7 @@ class TrafficSource : rt::NonCopyable {
   std::unique_ptr<rt::Worker> worker_;
 
   std::size_t next_flow_{0};
+  std::size_t burst_{1};  ///< workload.burst clamped to [1, kMaxBurst].
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> pool_stalls_{0};
   rt::Meter meter_;

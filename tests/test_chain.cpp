@@ -193,12 +193,13 @@ TEST(FtcChain, NatChainRewritesAndReplicatesFlowTable) {
   chain.stop();
 }
 
-TEST(FtcChain, SurvivesLossyLinksWithRetransmission) {
+void run_lossy_retransmission_case(std::size_t burst_size) {
   auto spec = spec_for(ChainMode::kFtc, 3);
   spec.cfg.link.loss = 0.01;           // 1% loss on every hop.
   spec.cfg.link.delay_ns = 1000;       // Force the timed (lossy) path.
   spec.cfg.retransmit_timeout_ns = 2'000'000;
   spec.cfg.nack_min_gap_ns = 500'000;
+  spec.cfg.burst_size = burst_size;
   ChainRuntime chain(spec);
   chain.start();
 
@@ -234,11 +235,22 @@ TEST(FtcChain, SurvivesLossyLinksWithRetransmission) {
   chain.stop();
 }
 
-TEST(FtcChain, ToleratesReorderingViaDependencyVectors) {
+TEST(FtcChain, SurvivesLossyLinksWithRetransmission) {
+  run_lossy_retransmission_case(32);
+}
+
+TEST(FtcChain, SurvivesLossyLinksWithRetransmissionBurst1) {
+  // Burst 1 = the pre-batching per-packet data path; loss -> NACK ->
+  // retransmission must behave identically.
+  run_lossy_retransmission_case(1);
+}
+
+void run_reordering_case(std::size_t burst_size) {
   auto spec = spec_for(ChainMode::kFtc, 2, /*f=*/1, /*threads=*/2);
   spec.cfg.link.delay_ns = 2000;
   spec.cfg.link.reorder = 0.05;
   spec.cfg.link.reorder_extra_ns = 50'000;
+  spec.cfg.burst_size = burst_size;
   ChainRuntime chain(spec);
   chain.start();
 
@@ -261,6 +273,14 @@ TEST(FtcChain, ToleratesReorderingViaDependencyVectors) {
               head_count->as<std::uint64_t>());
   }
   chain.stop();
+}
+
+TEST(FtcChain, ToleratesReorderingViaDependencyVectors) {
+  run_reordering_case(32);
+}
+
+TEST(FtcChain, ToleratesReorderingViaDependencyVectorsBurst1) {
+  run_reordering_case(1);
 }
 
 TEST(FtcChain, FilteringMiddleboxEmitsPropagatingPackets) {

@@ -18,6 +18,7 @@ struct SweepParam {
   std::size_t length;
   std::uint32_t f;
   std::size_t threads;
+  std::size_t burst{32};  ///< Data-path burst size (1 = per-packet).
 };
 
 std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
@@ -30,7 +31,8 @@ std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
   }
   return mode + "_len" + std::to_string(info.param.length) + "_f" +
          std::to_string(info.param.f) + "_t" +
-         std::to_string(info.param.threads);
+         std::to_string(info.param.threads) + "_b" +
+         std::to_string(info.param.burst);
 }
 
 class ChainSweep : public ::testing::TestWithParam<SweepParam> {};
@@ -43,6 +45,7 @@ TEST_P(ChainSweep, DeliversAndReplicates) {
   spec.cfg.threads_per_node = param.threads;
   spec.cfg.pool_packets = 2048;
   spec.cfg.propagate_interval_ns = 100'000;
+  spec.cfg.burst_size = param.burst;
   for (std::size_t i = 0; i < param.length; ++i) {
     spec.mbox_factories.push_back([]() -> std::unique_ptr<mbox::Middlebox> {
       return std::make_unique<mbox::Monitor>(1);
@@ -52,6 +55,7 @@ TEST_P(ChainSweep, DeliversAndReplicates) {
   chain.start();
 
   tgen::Workload w;
+  w.burst = param.burst;
   tgen::TrafficSource source(chain.pool(), chain.ingress(), w, 40'000.0);
   tgen::TrafficSink sink(chain.pool(), chain.egress());
   sink.start();
@@ -121,7 +125,13 @@ INSTANTIATE_TEST_SUITE_P(
         SweepParam{ChainMode::kFtc, 2, 1, 1}, SweepParam{ChainMode::kFtc, 2, 1, 2},
         SweepParam{ChainMode::kFtc, 3, 2, 1}, SweepParam{ChainMode::kFtc, 4, 1, 1},
         SweepParam{ChainMode::kFtc, 4, 3, 1}, SweepParam{ChainMode::kFtc, 5, 1, 2},
-        SweepParam{ChainMode::kFtc, 5, 4, 1}),
+        SweepParam{ChainMode::kFtc, 5, 4, 1},
+        // Burst-size coverage: burst 1 must behave exactly like the
+        // pre-batching per-packet path (the default above is 32).
+        SweepParam{ChainMode::kNf, 3, 0, 1, 1},
+        SweepParam{ChainMode::kFtc, 3, 1, 1, 1},
+        SweepParam{ChainMode::kFtc, 2, 1, 2, 1},
+        SweepParam{ChainMode::kFtc, 3, 2, 1, 128}),
     param_name);
 
 }  // namespace

@@ -102,7 +102,11 @@ TEST(Link, ReorderingDeliversAllPackets) {
   LinkConfig cfg;
   cfg.delay_ns = 1000;
   cfg.reorder = 0.3;
-  cfg.reorder_extra_ns = 100'000;
+  // The extra delay must comfortably exceed the duration of the send loop
+  // below, or all packets become deliverable before polling starts and
+  // arrive in order (seen under TSan, whose instrumentation slows the 200
+  // sends past a 100 us window).
+  cfg.reorder_extra_ns = 20'000'000;
   Link link(pool, cfg);
   constexpr std::uint64_t kPackets = 200;
   for (std::uint64_t i = 0; i < kPackets; ++i) {
@@ -155,6 +159,173 @@ TEST(Link, ReorderLetsLaterPacketPassDelayedHead) {
   pool.free_raw(p);
   EXPECT_EQ(link.poll(), nullptr);  // Packet 0 still held back.
   EXPECT_FALSE(link.drained());
+}
+
+TEST(Link, BurstFastPathDeliversInOrderAndCounts) {
+  pkt::PacketPool pool(64);
+  Link link(pool, LinkConfig{});
+  pkt::Packet* tx[16];
+  for (std::uint64_t i = 0; i < 16; ++i) tx[i] = make_packet(pool, i);
+  EXPECT_EQ(link.send_burst({tx, 16}), 16u);
+  EXPECT_EQ(link.stats().sent, 16u);
+  pkt::Packet* rx[16];
+  // Mixed drain: singleton poll interleaves with bursts, order preserved.
+  pkt::Packet* first = link.poll();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->anno().packet_id, 0u);
+  pool.free_raw(first);
+  EXPECT_EQ(link.poll_burst(rx, 7), 7u);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(rx[i]->anno().packet_id, 1 + i);
+    pool.free_raw(rx[i]);
+  }
+  EXPECT_EQ(link.poll_burst(rx, 16), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rx[i]->anno().packet_id, 8 + i);
+    pool.free_raw(rx[i]);
+  }
+  EXPECT_EQ(link.poll_burst(rx, 16), 0u);
+  EXPECT_EQ(link.stats().delivered, 16u);
+  EXPECT_TRUE(link.drained());
+}
+
+TEST(Link, BurstFastPathAcceptsPrefixWhenNearlyFull) {
+  pkt::PacketPool pool(64);
+  LinkConfig cfg;
+  cfg.capacity = 8;
+  Link link(pool, cfg);
+  pkt::Packet* tx[12];
+  for (std::uint64_t i = 0; i < 12; ++i) tx[i] = make_packet(pool, i);
+  const std::size_t accepted = link.send_burst({tx, 12});
+  EXPECT_EQ(accepted, 8u);  // The queue's capacity.
+  for (std::size_t i = accepted; i < 12; ++i) pool.free_raw(tx[i]);
+  EXPECT_EQ(link.send_burst({tx, 0}), 0u);
+  pkt::Packet* rx[12];
+  EXPECT_EQ(link.poll_burst(rx, 12), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(rx[i]->anno().packet_id, i);
+    pool.free_raw(rx[i]);
+  }
+}
+
+TEST(Link, BurstTimedPathKeepsPerPacketLossSemantics) {
+  // send_burst on a lossy link must take the same per-packet loss draws as
+  // N send() calls: with the deterministic counter-hash RNG, the set of
+  // surviving packet ids is identical.
+  constexpr std::uint64_t kPackets = 512;
+  LinkConfig cfg;
+  cfg.loss = 0.3;
+  cfg.delay_ns = 1;  // Force the timed path.
+  std::vector<std::uint64_t> singleton_survivors;
+  {
+    pkt::PacketPool pool(1024);
+    Link link(pool, cfg);
+    for (std::uint64_t i = 0; i < kPackets; ++i) {
+      ASSERT_TRUE(link.send(make_packet(pool, i)));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    pkt::Packet* rx[64];
+    std::size_t got;
+    while ((got = link.poll_burst(rx, 64)) != 0) {
+      for (std::size_t i = 0; i < got; ++i) {
+        singleton_survivors.push_back(rx[i]->anno().packet_id);
+        pool.free_raw(rx[i]);
+      }
+    }
+  }
+  std::vector<std::uint64_t> burst_survivors;
+  {
+    pkt::PacketPool pool(1024);
+    Link link(pool, cfg);
+    pkt::Packet* tx[64];
+    for (std::uint64_t base = 0; base < kPackets; base += 64) {
+      for (std::uint64_t i = 0; i < 64; ++i) tx[i] = make_packet(pool, base + i);
+      ASSERT_EQ(link.send_burst({tx, 64}), 64u);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    while (pkt::Packet* p = link.poll()) {
+      burst_survivors.push_back(p->anno().packet_id);
+      pool.free_raw(p);
+    }
+  }
+  EXPECT_FALSE(singleton_survivors.empty());
+  EXPECT_LT(singleton_survivors.size(), kPackets);
+  EXPECT_EQ(burst_survivors, singleton_survivors);
+}
+
+TEST(Link, BurstPollWithReorderMatchesSingletonSemantics) {
+  // poll_burst on a reordering link must deliver exactly the packets N
+  // poll() calls would: ready head packets in order, with held-back
+  // (reordered) packets skipped until their extra delay elapses.
+  LinkConfig cfg;
+  cfg.delay_ns = 1'000'000;                  // 1 ms base delay.
+  cfg.reorder = 0.5;
+  cfg.reorder_extra_ns = 60'000'000'000ull;  // Beyond the test horizon.
+  // Deterministic draws (see ReorderLetsLaterPacketPassDelayedHead): pick a
+  // seed where some of the first 8 packets are held and some pass.
+  const auto reordered = [&](std::uint64_t counter, std::uint64_t seed) {
+    const std::uint64_t draw = rt::splitmix64(counter ^ ~seed);
+    return static_cast<double>(draw >> 11) * 0x1.0p-53 < cfg.reorder;
+  };
+  std::uint64_t seed = 0;
+  const auto mask_of = [&](std::uint64_t s) {
+    std::uint64_t m = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) m |= std::uint64_t{reordered(i, s)} << i;
+    return m;
+  };
+  while (mask_of(seed) == 0 || mask_of(seed) == 0xff) ++seed;
+  cfg.seed = seed;
+
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    if (!reordered(i, seed)) expected.push_back(i);
+  }
+
+  pkt::PacketPool pool(16);
+  Link link(pool, cfg);
+  pkt::Packet* tx[8];
+  for (std::uint64_t i = 0; i < 8; ++i) tx[i] = make_packet(pool, i);
+  ASSERT_EQ(link.send_burst({tx, 8}), 8u);
+
+  // One burst drain (after the base delay) must surface exactly the
+  // on-time packets, in order, skipping the held ones.
+  pkt::Packet* rx[8];
+  std::vector<std::uint64_t> got_ids;
+  const auto deadline = rt::now_ns() + 2'000'000'000ull;
+  while (got_ids.size() < expected.size() && rt::now_ns() < deadline) {
+    const std::size_t got = link.poll_burst(rx, 8);
+    for (std::size_t i = 0; i < got; ++i) {
+      got_ids.push_back(rx[i]->anno().packet_id);
+      pool.free_raw(rx[i]);
+    }
+  }
+  EXPECT_EQ(got_ids, expected);
+  EXPECT_EQ(link.poll_burst(rx, 8), 0u);  // Held packets still held.
+  EXPECT_FALSE(link.drained());
+}
+
+TEST(Link, SendBlockingCountsRetries) {
+  obs::Registry registry;
+  pkt::PacketPool pool(16);
+  LinkConfig cfg;
+  cfg.capacity = 2;
+  Link link(pool, cfg, &registry, "retry-link");
+  ASSERT_TRUE(link.send(make_packet(pool, 0)));
+  ASSERT_TRUE(link.send(make_packet(pool, 1)));
+  pkt::Packet* p = make_packet(pool, 2);
+  EXPECT_FALSE(link.send_blocking(p, 2'000'000));  // 2 ms timeout.
+  pool.free_raw(p);
+  const obs::Labels labels{{"link", "retry-link"}};
+  EXPECT_GT(registry.counter("link.send_retries", labels).value(), 0u);
+
+  // A successful blocking send after drain adds no further retries once
+  // the queue has room.
+  const auto retries_before =
+      registry.counter("link.send_retries", labels).value();
+  pool.free_raw(link.poll());
+  EXPECT_TRUE(link.send_blocking(make_packet(pool, 3)));
+  EXPECT_EQ(registry.counter("link.send_retries", labels).value(),
+            retries_before);
 }
 
 TEST(Link, SendBlockingTimesOut) {

@@ -40,6 +40,19 @@ std::uint64_t monitor_count(FtcNode* node) {
   return v ? v->as<std::uint64_t>() : 0;
 }
 
+// Replication-convergence barrier: recovery rebuilds a head store from a
+// replica's applier, so count comparisons against the pre-failure head are
+// only exact once nothing is in flight. A fixed sleep is not enough on a
+// slow host (e.g. under TSan, where draining the chain takes far longer
+// than 50 ms).
+void quiesce(ChainRuntime& chain) {
+  const auto deadline = rt::now_ns() + 15'000'000'000ull;
+  while (!chain.quiescent() && rt::now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(chain.quiescent());
+}
+
 void pump(ChainRuntime& chain, tgen::TrafficSource& src, tgen::TrafficSink& sink,
           std::uint64_t target) {
   const auto deadline = rt::now_ns() + 20'000'000'000ull;
@@ -51,8 +64,10 @@ void pump(ChainRuntime& chain, tgen::TrafficSource& src, tgen::TrafficSink& sink
   (void)src;
 }
 
-TEST(Recovery, ManualSingleFailureRestoresState) {
-  ChainRuntime chain(monitor_chain(3));
+void run_manual_failure_case(std::size_t burst_size) {
+  auto spec = monitor_chain(3);
+  spec.cfg.burst_size = burst_size;
+  ChainRuntime chain(spec);
   chain.start();
   Orchestrator orch(chain);
 
@@ -65,7 +80,7 @@ TEST(Recovery, ManualSingleFailureRestoresState) {
 
   // Remember the pre-failure state of middlebox 1 as seen by its replica.
   source.stop();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  quiesce(chain);
   const std::uint64_t pre_failure_count = monitor_count(chain.ftc_node(1));
   EXPECT_GT(pre_failure_count, 0u);
 
@@ -99,6 +114,16 @@ TEST(Recovery, ManualSingleFailureRestoresState) {
 
   sink.stop();
   chain.stop();
+}
+
+TEST(Recovery, ManualSingleFailureRestoresState) {
+  run_manual_failure_case(32);
+}
+
+TEST(Recovery, ManualSingleFailureRestoresStateBurst1) {
+  // Failure -> recovery must be burst-invariant (burst 1 = the
+  // pre-batching per-packet data path).
+  run_manual_failure_case(1);
 }
 
 TEST(Recovery, HeartbeatMonitorDetectsAndRecovers) {
@@ -163,7 +188,7 @@ TEST(Recovery, SimultaneousNonAdjacentFailures) {
   source.start();
   pump(chain, source, sink, 800);
   source.stop();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  quiesce(chain);
 
   const std::uint64_t count0 = monitor_count(chain.ftc_node(0));
   const std::uint64_t count2 = monitor_count(chain.ftc_node(2));
@@ -195,7 +220,7 @@ TEST(Recovery, FailoverWithHigherReplicationFactor) {
   source.start();
   pump(chain, source, sink, 800);
   source.stop();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  quiesce(chain);
 
   const std::uint64_t count1 = monitor_count(chain.ftc_node(1));
   const std::uint64_t count2 = monitor_count(chain.ftc_node(2));

@@ -122,6 +122,122 @@ TEST(MpmcQueue, ManyProducersManyConsumers) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+TEST(MpmcQueue, BulkPushPopSingleThread) {
+  MpmcQueue<int> q(16);
+  std::vector<int> in(20);
+  std::iota(in.begin(), in.end(), 0);
+  // Bulk push accepts only what fits (16 of 20).
+  EXPECT_EQ(q.try_push_n({in.data(), in.size()}), 16u);
+  EXPECT_EQ(q.try_push_n({in.data(), in.size()}), 0u);  // Full.
+  int out[32];
+  // Bulk pop returns what is available, in FIFO order.
+  EXPECT_EQ(q.try_pop_n(out, 8), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(q.try_pop_n(out, 32), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], 8 + i);
+  EXPECT_EQ(q.try_pop_n(out, 32), 0u);  // Empty.
+  // Recycled slots keep working.
+  EXPECT_EQ(q.try_push_n({in.data(), 4}), 4u);
+  EXPECT_EQ(q.try_pop_n(out, 32), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(MpmcQueue, BulkMpmcStressNoLossNoDupFifoPerProducer) {
+  // MPMC stress for the bulk ops: every pushed value arrives exactly once,
+  // and each consumer observes every producer's values in push order
+  // (bulk reservations must not interleave a producer's runs).
+  MpmcQueue<std::uint64_t> q(256);
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 10000;
+
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<bool> fifo_ok{true};
+  std::vector<std::thread> threads;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      std::uint64_t batch[64];
+      Pcg32 rng(17, p);
+      for (std::uint64_t i = 0; i < kPerProducer;) {
+        const std::uint64_t want =
+            std::min<std::uint64_t>(1 + rng.bounded(64), kPerProducer - i);
+        for (std::uint64_t k = 0; k < want; ++k) {
+          batch[k] = (p << 32) | (i + k);
+        }
+        i += q.try_push_n({batch, want});
+      }
+    });
+  }
+  for (std::uint64_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      std::uint64_t batch[64];
+      std::uint64_t last_seq[kProducers];
+      for (auto& s : last_seq) s = ~0ULL;
+      while (consumed.load() < kProducers * kPerProducer) {
+        const std::size_t got = q.try_pop_n(batch, 64);
+        for (std::size_t k = 0; k < got; ++k) {
+          const std::uint64_t p = batch[k] >> 32;
+          const std::uint64_t seq = batch[k] & 0xffffffff;
+          // Each consumer pops at increasing queue positions, so per
+          // producer its observed sequence must be strictly increasing.
+          if (last_seq[p] != ~0ULL && seq <= last_seq[p]) fifo_ok = false;
+          last_seq[p] = seq;
+          sum.fetch_add(seq);
+        }
+        if (got != 0) consumed.fetch_add(got);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(fifo_ok.load());
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  // Sum of sequence numbers: producers contribute identical 0..n-1 ranges.
+  EXPECT_EQ(sum.load(), kProducers * (kPerProducer * (kPerProducer - 1) / 2));
+}
+
+TEST(MpmcQueue, BurstAndSingletonOpsInterleave) {
+  // Mixed bulk/singleton producers and consumers share one queue without
+  // losing FIFO: one producer alternates try_push / try_push_n, one
+  // consumer alternates try_pop / try_pop_n, and the full sequence comes
+  // out in order.
+  MpmcQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kCount = 30000;
+  std::thread producer([&q] {
+    std::uint64_t batch[32];
+    Pcg32 rng(5);
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (rng.bounded(2) == 0) {
+        if (q.try_push(std::uint64_t{i})) ++i;
+      } else {
+        const std::uint64_t want =
+            std::min<std::uint64_t>(1 + rng.bounded(32), kCount - i);
+        for (std::uint64_t k = 0; k < want; ++k) batch[k] = i + k;
+        i += q.try_push_n({batch, want});
+      }
+    }
+  });
+  std::uint64_t batch[32];
+  std::uint64_t expected = 0;
+  Pcg32 rng(6);
+  while (expected < kCount) {
+    if (rng.bounded(2) == 0) {
+      if (auto v = q.try_pop()) {
+        ASSERT_EQ(*v, expected);
+        ++expected;
+      }
+    } else {
+      const std::size_t got = q.try_pop_n(batch, 1 + rng.bounded(32));
+      for (std::size_t k = 0; k < got; ++k) {
+        ASSERT_EQ(batch[k], expected);
+        ++expected;
+      }
+    }
+  }
+  producer.join();
+  EXPECT_EQ(q.try_pop_n(batch, 32), 0u);
+}
+
 TEST(Pcg32, DeterministicForSameSeed) {
   Pcg32 a(42, 7), b(42, 7);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
