@@ -113,9 +113,10 @@ int main() {
   std::printf("known gap: FTC > plain FTMB does NOT reproduce on this "
               "substrate — our in-memory links\n"
               "underprice FTMB's per-packet PAL messages (the paper's FTMB "
-              "was NIC-capped at 5.26 Mpps)\n"
-              "and our piggyback handling costs ~800 cycles/hop vs the "
-              "paper's in-place 58+100 (Table 2).\n"
+              "was NIC-capped at 5.26 Mpps),\n"
+              "and even with zero-copy piggyback processing the per-hop "
+              "apply+replicate work exceeds the paper's 58+100 cycles "
+              "(Table 2).\n"
               "See EXPERIMENTS.md for the full analysis.\n");
   report.shape_check(ok);
   finish_report(report);

@@ -87,16 +87,66 @@ void EgressBuffer::absorb(std::span<const CommitVector> commits) {
 }
 
 void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
-  // Cache: the packet leaves our hands inside this function (freed for
+  // Cache: the packet leaves our hands inside submit_core (freed for
   // control packets, sent for released ones).
   const bool is_control = p->anno().is_control;
   const std::uint64_t trace_id = p->anno().trace_id;
+  std::vector<PendingLog> pending;
+  if (!is_control) {
+    pending.reserve(msg.logs.size());
+    for (const auto& log : msg.logs) {
+      pending.push_back(PendingLog{log.mbox, log.dep});
+    }
+  }
+  submit_core(p, is_control, trace_id, {msg.commits.data(), msg.commits.size()},
+              std::move(pending));
 
+  // Commit vectors end their journey here (tail -> ... -> buffer, paper
+  // §5.1); only logs still traveling toward their wrap-around tails feed
+  // back to the forwarder. Dropping commits also terminates the idle
+  // propagation loop: once every log is stripped at its tail, feedback
+  // messages become empty.
+  msg.commits.clear();
+  if (!msg.empty()) feedback_.push(std::move(msg));
+}
+
+void EgressBuffer::submit_wire(pkt::Packet* p, PiggybackView& v) {
+  const bool is_control = p->anno().is_control;
+  const std::uint64_t trace_id = p->anno().trace_id;
+  rt::SmallVector<CommitVector, 2> commits;
+  std::vector<PendingLog> pending;
+  PiggybackMessage feedback;
+  if (v.ok()) {
+    for (std::size_t i = 0; i < v.commit_count(); ++i) {
+      CommitVector c;
+      c.mbox = v.commit(i, c.max);
+      commits.push_back(std::move(c));
+    }
+    const std::size_t n = v.log_count();
+    if (!is_control && n != 0) pending.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const WireLog log = v.log(i);
+      if (!is_control) pending.push_back(PendingLog{log.mbox, log.dep});
+      // Only surviving (wrap-around) logs pay a materialization: they
+      // outlive the packet on the feedback channel.
+      feedback.logs.push_back(materialize_log(log));
+    }
+    v.strip_tail();  // The packet leaves the chain bare.
+  }
+  submit_core(p, is_control, trace_id, {commits.data(), commits.size()},
+              std::move(pending));
+  if (!feedback.logs.empty()) feedback_.push(std::move(feedback));
+}
+
+void EgressBuffer::submit_core(pkt::Packet* p, bool is_control,
+                               std::uint64_t trace_id,
+                               std::span<const CommitVector> commits,
+                               std::vector<PendingLog>&& pending) {
   std::unique_lock lock(mutex_);
   submitted_->inc();
 
   // Absorb the commit knowledge this packet carries.
-  for (const auto& c : msg.commits) {
+  for (const auto& c : commits) {
     auto [it, inserted] = known_commits_.try_emplace(c.mbox, c.max);
     if (!inserted) it->second.merge(c.max);
   }
@@ -105,11 +155,7 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
     control_consumed_->inc();
     pool_.free_raw(p);
   } else {
-    Held held{p, {}};
-    held.pending.reserve(msg.logs.size());
-    for (const auto& log : msg.logs) {
-      held.pending.push_back(PendingLog{log.mbox, log.dep});
-    }
+    Held held{p, std::move(pending)};
     if (held.pending.empty() || is_covered(held)) {
       // Nothing outstanding (e.g. read-only path all along the chain, or
       // commits already caught up): release without holding.
@@ -147,15 +193,6 @@ void EgressBuffer::submit(pkt::Packet* p, PiggybackMessage&& msg) {
   }
   flush_releases_locked();
   held_gauge_->set(static_cast<std::int64_t>(held_.size()));
-  lock.unlock();
-
-  // Commit vectors end their journey here (tail -> ... -> buffer, paper
-  // §5.1); only logs still traveling toward their wrap-around tails feed
-  // back to the forwarder. Dropping commits also terminates the idle
-  // propagation loop: once every log is stripped at its tail, feedback
-  // messages become empty.
-  msg.commits.clear();
-  if (!msg.empty()) feedback_.push(std::move(msg));
 }
 
 void EgressBuffer::release_eligible() {

@@ -42,6 +42,14 @@ class EgressBuffer : rt::NonCopyable {
   /// commits and are freed.
   void submit(pkt::Packet* p, PiggybackMessage&& msg);
 
+  /// submit() for the zero-copy path: commits and pending-log headers are
+  /// read straight off the packet tail via @p v; only logs that must
+  /// outlive the packet (the feedback hand-off to the forwarder) are
+  /// materialized. The tail is stripped before the packet is held or
+  /// released, so packets leave the chain bare exactly as on the legacy
+  /// path. @p v may be invalid (packet without a message) and is consumed.
+  void submit_wire(pkt::Packet* p, PiggybackView& v);
+
   /// Absorbs commit vectors into the buffer's release knowledge (also
   /// called by the egress node before message stripping).
   void absorb(std::span<const CommitVector> commits);
@@ -69,6 +77,12 @@ class EgressBuffer : rt::NonCopyable {
   };
 
   bool is_covered(const Held& held) const;
+  /// Shared tail of submit()/submit_wire(): absorbs @p commits, holds or
+  /// releases the (already bare) packet, runs the prefix/periodic release
+  /// scans.
+  void submit_core(pkt::Packet* p, bool is_control, std::uint64_t trace_id,
+                   std::span<const CommitVector> commits,
+                   std::vector<PendingLog>&& pending);
   /// Stages @p held's packet for release; flush_releases_locked() ships the
   /// whole batch with one bulk send (releases within a submit/scan coalesce).
   void release_locked(Held& held);

@@ -16,6 +16,12 @@ ChainRuntime::ChainRuntime(Spec spec) : spec_(std::move(spec)) {
   pool_ = std::make_unique<pkt::PacketPool>(spec_.cfg.pool_packets);
   internal_pool_ = std::make_unique<pkt::PacketPool>(
       std::max<std::size_t>(2048, spec_.cfg.pool_packets / 4));
+  registry_.gauge_fn("pool.free_retries", {{"pool", "data"}}, [this] {
+    return static_cast<double>(pool_->free_retries());
+  });
+  registry_.gauge_fn("pool.free_retries", {{"pool", "internal"}}, [this] {
+    return static_cast<double>(internal_pool_->free_retries());
+  });
 
   switch (spec_.mode) {
     case ChainMode::kFtc:
@@ -161,6 +167,10 @@ bool ChainRuntime::quiescent() {
   if (buffer_ && buffer_->held_count() != 0) return false;
   for (FtcNode* node : ftc_at_) {
     if (node != nullptr && node->parked_count() != 0) return false;
+    // A burst a worker has popped but not finished is in no link queue yet
+    // still carries unapplied logs; checked after the links so a token
+    // observed as zero means the packets are back somewhere visible.
+    if (node != nullptr && node->bursts_in_flight() != 0) return false;
   }
   return true;
 }

@@ -49,8 +49,16 @@ class Forwarder : rt::NonCopyable {
   /// Collects pending feedback (up to the merge limit) into one message to
   /// ride on an incoming packet.
   PiggybackMessage collect() {
-    PiggybackMessage merged;
-    for (std::size_t i = 0; i < cfg_.forwarder_merge_limit; ++i) {
+    // Common case first: zero or one pending message needs no merge pass
+    // (the merge walks commit vectors per log; skipping it matters at the
+    // per-packet rate this runs at).
+    auto first = feedback_.pop();
+    if (!first) {
+      note_activity();
+      return {};
+    }
+    PiggybackMessage merged = std::move(*first);
+    for (std::size_t i = 1; i < cfg_.forwarder_merge_limit; ++i) {
       auto msg = feedback_.pop();
       if (!msg) break;
       merged.merge(std::move(*msg));

@@ -1,5 +1,6 @@
 #include "core/nf_node.hpp"
 
+#include "core/piggyback.hpp"
 #include "packet/packet_io.hpp"
 #include "runtime/clock.hpp"
 
@@ -76,7 +77,9 @@ bool NfNode::process_packet(pkt::Packet* p, std::uint32_t thread_id) {
 
   mbox::Verdict verdict = mbox::Verdict::kForward;
   if (mbox_ != nullptr && !p->anno().is_control) {
-    auto parsed = pkt::parse_packet(*p);
+    // Packets replayed from FTC captures may still carry a piggyback tail;
+    // hide it from the middlebox exactly as the FTC data path does.
+    auto parsed = pkt::parse_packet(*p, wire_size_hint(*p));
     if (!parsed) {
       verdict = mbox::Verdict::kDrop;
     } else {

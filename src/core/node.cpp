@@ -148,6 +148,22 @@ void FtcNode::attach_data_path(net::Link* in, net::Link* out) {
   out_link_.store(out);
 }
 
+void FtcNode::set_forwarder(Forwarder* fwd) {
+  forwarder_ = fwd;
+  if (fwd == nullptr || pb_hists_registered_) return;
+  pb_hists_registered_ = true;
+  const obs::Labels labels{{"node", std::to_string(id_)},
+                           {"pos", std::to_string(position_)}};
+  registry_->histogram_fn("piggyback.bytes_per_packet", labels, [this] {
+    std::lock_guard lock(pb_mutex_);
+    return pb_bytes_hist_;
+  });
+  registry_->histogram_fn("piggyback.logs_per_packet", labels, [this] {
+    std::lock_guard lock(pb_mutex_);
+    return pb_logs_hist_;
+  });
+}
+
 InOrderApplier* FtcNode::applier(MboxId mbox) noexcept {
   if (applier_cache_.empty()) {
     // Construction-time call (the cache is built after appliers_).
@@ -240,6 +256,11 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
   net::Link* in = in_link_.load(std::memory_order_acquire);
   if (in != nullptr) {
     pkt::Packet* rx[kMaxBurst];
+    // Raise the in-flight token BEFORE popping: packets leave the link
+    // queue here but are only applied/forwarded below, and quiescence
+    // checks (ChainRuntime::quiescent) must never observe "links drained"
+    // while a whole burst sits unapplied in this worker's hands.
+    bursts_in_flight_.fetch_add(1);
     const std::size_t got = in->poll_burst(rx, burst_size_);
     if (got != 0) {
       // Open the per-thread burst scope: emits from this burst stage into
@@ -250,7 +271,44 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
       b.out = out_link_.load(std::memory_order_acquire);
       const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
       if (account_cycles_) t_blocked_cycles = 0;
-      for (std::size_t i = 0; i < got; ++i) ingest_packet(rx[i], thread_id);
+      if (forwarder_ != nullptr) {
+        // Chain ingress: packets arrive bare and the message to attach
+        // comes from the feedback channel (materialized by necessity), so
+        // the head keeps the legacy per-packet path.
+        for (std::size_t i = 0; i < got; ++i) ingest_packet(rx[i], thread_id);
+      } else {
+        // Zero-copy path (paper §5.1's in-place processing): open every
+        // tail once, apply the whole burst's logs grouped per applier and
+        // store partition, then run phases B-D on the wire bytes in place.
+        ViewWork vw[kMaxBurst];
+        bool any_traced = false;
+        for (std::size_t i = 0; i < got; ++i) {
+          if (SFC_UNLIKELY(rx[i]->anno().trace_id != 0)) {
+            any_traced = true;
+            span_event(registry_, obs::span_site_node(id_),
+                       rx[i]->anno().trace_id, obs::SpanKind::kNodeIngress,
+                       position_);
+          }
+          vw[i].view = PiggybackView::open(*rx[i]);
+        }
+        const std::uint64_t span_t0 = any_traced ? rt::now_ns() : 0;
+        const std::uint64_t ta0 = account_cycles_ ? rt::rdtsc() : 0;
+        apply_logs_burst(vw, got);
+        if (account_cycles_) b.cyc_piggyback += rt::rdtsc() - ta0;
+        // Traced packets report the burst apply as a per-packet share.
+        const std::uint64_t apply_share_ns =
+            any_traced ? (rt::now_ns() - span_t0) / got : 0;
+        for (std::size_t i = 0; i < got; ++i) {
+          if (SFC_UNLIKELY(rx[i]->anno().trace_id != 0) &&
+              vw[i].held_at == kNoHeldLog) {
+            span_event(registry_, obs::span_site_node(id_),
+                       rx[i]->anno().trace_id, obs::SpanKind::kApply,
+                       apply_share_ns);
+          }
+          process_view(rx[i], vw[i], thread_id);
+          drain_parked();
+        }
+      }
       b.owner = nullptr;
       // Flush staged egress with one bulk send; stragglers block with
       // backpressure accounting, exactly like a per-packet send would.
@@ -288,6 +346,7 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
       }
       did_work = true;
     }
+    bursts_in_flight_.fetch_sub(1);
   }
 
   active_workers_.fetch_sub(1, std::memory_order_acq_rel);
@@ -307,6 +366,13 @@ void FtcNode::ingest_packet(pkt::Packet* p, std::uint32_t thread_id) {
     // Chain ingress: outside packets carry no message; attach pending
     // feedback from the buffer.
     work.msg = forwarder_->collect();
+    // Head-ingress distributions (the paper's state-size axis): what this
+    // message will occupy on the wire, and how many logs ride along.
+    {
+      std::lock_guard lock(pb_mutex_);
+      pb_bytes_hist_.record(serialized_size(work.msg, cfg_.num_partitions));
+      pb_logs_hist_.record(work.msg.logs.size());
+    }
   } else if (auto msg = extract_message(*p)) {
     work.msg = std::move(*msg);
   }
@@ -375,6 +441,242 @@ bool FtcNode::apply_logs(Work& work) {
                rt::now_ns() - span_t0);
   }
   return complete;
+}
+
+void FtcNode::apply_logs_burst(ViewWork* vw, std::size_t n) {
+  if (applier_cache_.empty()) return;
+  struct Origin {
+    std::uint32_t pkt;
+    std::uint32_t idx;
+  };
+  rt::SmallVector<WireLog, 64> logs;
+  rt::SmallVector<Origin, 64> origin;
+  rt::SmallVector<InOrderApplier::Offer, 64> results;
+  std::uint64_t applied = 0;
+  std::uint64_t duplicate = 0;
+  for (const auto& [mbox, a] : applier_cache_) {
+    logs.clear();
+    origin.clear();
+    results.clear();
+    // Gather this applier's logs across the whole burst in rx order, so
+    // one offer_burst takes the MAX mutex (and each touched store
+    // partition lock) once instead of once per log.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const PiggybackView& v = vw[i].view;
+      if (!v.ok()) continue;
+      const std::size_t count = v.log_count();
+      for (std::uint32_t j = 0; j < count; ++j) {
+        WireLog log = v.log(j);
+        if (log.mbox != mbox) continue;
+        logs.push_back(log);
+        origin.push_back(Origin{i, j});
+        results.push_back(InOrderApplier::Offer::kHeld);
+      }
+    }
+    if (logs.empty()) continue;
+    a->offer_burst({logs.data(), logs.size()}, results.data());
+    for (std::size_t k = 0; k < logs.size(); ++k) {
+      auto offer = results[k];
+      if (offer == InOrderApplier::Offer::kHeld &&
+          cfg_.threads_per_node > 1) {
+        // Same retry as apply_logs: with sibling threads the missing
+        // predecessor is usually in flight right now, and retrying k in
+        // order lets a successful retry unblock k+1 below.
+        for (int spin = 0; spin < 4 && offer == InOrderApplier::Offer::kHeld;
+             ++spin) {
+          std::this_thread::yield();
+          offer = a->offer_wire(logs[k]);
+        }
+      }
+      switch (offer) {
+        case InOrderApplier::Offer::kApplied:
+          ++applied;
+          break;
+        case InOrderApplier::Offer::kDuplicate:
+          ++duplicate;
+          break;
+        case InOrderApplier::Offer::kHeld: {
+          // Remember the earliest held log (in message order): the packet
+          // re-enters the legacy path from there; logs already applied
+          // above re-offer as duplicates.
+          std::uint32_t& held = vw[origin[k].pkt].held_at;
+          held = std::min(held, origin[k].idx);
+          break;
+        }
+      }
+    }
+  }
+  if (applied != 0) stats_.logs_applied->add(applied);
+  if (duplicate != 0) stats_.logs_duplicate->add(duplicate);
+}
+
+void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
+                           std::uint32_t thread_id) {
+  BurstScope& b = t_burst;
+  const std::uint64_t trace_id = p->anno().trace_id;
+  if (SFC_UNLIKELY(vw.held_at != kNoHeldLog)) {
+    // A predecessor log is missing: leave the zero-copy path and continue
+    // on the materializing park/drain machinery from the held log.
+    Work work;
+    work.packet = p;
+    work.thread_id = thread_id;
+    if (auto msg = extract_message(*p)) work.msg = std::move(*msg);
+    work.next_log = vw.held_at;
+    process_work(std::move(work));
+    return;
+  }
+  PiggybackView& v = vw.view;
+
+  // --- Phase B: tail duty, pruning, commit stripping, in place. ---
+  const std::uint64_t tb0 = account_cycles_ ? rt::rdtsc() : 0;
+  if (InOrderApplier* a = tail_applier_) {
+    if (v.ok() && v.log_count() != 0) {
+      v.strip_logs_of(tail_mbox_);
+      if (trace_id != 0) {
+        span_event(registry_, obs::span_site_node(id_), trace_id,
+                   obs::SpanKind::kStrip, tail_mbox_);
+      }
+    }
+    const std::uint64_t applied = a->applied_count();
+    if (applied != last_commit_attach_.load(std::memory_order_relaxed)) {
+      if (!v.ok()) v = PiggybackView::create(*p, cfg_.num_partitions);
+      if (v.ok() && v.set_commit(tail_mbox_, a->max())) {
+        last_commit_attach_.store(applied, std::memory_order_relaxed);
+        trace_->emit(obs::Event::kCommitAttach, tail_mbox_, applied);
+        if (trace_id != 0) {
+          span_event(registry_, obs::span_site_node(id_), trace_id,
+                     obs::SpanKind::kCommitAttach, tail_mbox_);
+        }
+      } else {
+        // Tailroom exhausted mid-attach (nothing recorded yet): finish on
+        // the materializing path, which re-evaluates the attach and can
+        // detour the message onto a propagating packet.
+        Work work;
+        work.packet = p;
+        work.thread_id = thread_id;
+        if (auto msg = extract_message(*p)) work.msg = std::move(*msg);
+        work.next_log = work.msg.logs.size();
+        if (account_cycles_) b.cyc_piggyback += rt::rdtsc() - tb0;
+        finish_work(std::move(work));
+        return;
+      }
+    }
+  }
+  if (v.ok() && v.commit_count() != 0) {
+    rt::SmallVector<CommitVector, 2> commits;
+    for (std::size_t i = 0; i < v.commit_count(); ++i) {
+      CommitVector c;
+      c.mbox = v.commit(i, c.max);
+      commits.push_back(std::move(c));
+    }
+    // The buffer is the last consumer of commit vectors before stripping.
+    if (buffer_ != nullptr) {
+      buffer_->absorb({commits.data(), commits.size()});
+    }
+    for (const auto& c : commits) {
+      if (head_ != nullptr && c.mbox == position_) head_->prune(c.max);
+      if (InOrderApplier* ca = applier(c.mbox)) ca->prune(c.max);
+    }
+  }
+  if (account_cycles_) b.cyc_piggyback += rt::rdtsc() - tb0;
+
+  // --- Phase C: the packet transaction (paper §4.2). The tail stays on
+  // the packet; parse_packet is told where the wire bytes end. ---
+  mbox::Verdict verdict = mbox::Verdict::kForward;
+  PiggybackLog new_log;
+  bool have_log = false;
+  if (mbox_ != nullptr && !p->anno().is_control) {
+    auto parsed = pkt::parse_packet(*p, v.ok() ? v.wire_size() : 0);
+    if (!parsed) {
+      stats_.drops_unparseable->inc();
+      verdict = mbox::Verdict::kDrop;
+    } else {
+      const std::uint64_t span_t0 = trace_id != 0 ? rt::now_ns() : 0;
+      const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
+      mbox::ProcessContext pctx;
+      pctx.thread_id = thread_id;
+      pctx.num_threads = static_cast<std::uint32_t>(cfg_.threads_per_node);
+      if (mbox_->stateless()) {
+        verdict = mbox_->process_stateless(*p, *parsed, pctx);
+      } else {
+        auto record = state::run_transaction(head_->txn_ctx(), [&](state::Txn& txn) {
+          pctx.deferred_rewrite.reset();
+          verdict = mbox_->process(txn, *p, *parsed, pctx);
+        });
+        if (!record.read_only()) {
+          new_log = head_->make_log(std::move(record));
+          have_log = true;
+        }
+      }
+      if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
+      if (account_cycles_) {
+        b.cyc_process += rt::rdtsc() - t0;
+        ++b.cyc_packets;
+      }
+      if (trace_id != 0) {
+        span_event(registry_, obs::span_site_node(id_), trace_id,
+                   obs::SpanKind::kProcess, rt::now_ns() - span_t0);
+      }
+    }
+  }
+
+  if (p->anno().is_control) {
+    ++b.control_packets;
+  } else {
+    ++b.data_packets;
+    // Meter wire bytes only, matching the legacy path where the tail was
+    // stripped before the packet was measured.
+    b.data_bytes += v.ok() ? v.wire_size() : p->size();
+  }
+
+  // --- Phase D: emit, appending our own log in place. ---
+  if (verdict == mbox::Verdict::kDrop) {
+    // A filtering middlebox must not swallow in-flight state: its head
+    // emits a propagating packet carrying the message (paper §5.1).
+    stats_.drops_filtered->inc();
+    PiggybackMessage out;
+    if (auto msg = extract_message(*p)) out = std::move(*msg);
+    if (have_log) out.logs.push_back(std::move(new_log));
+    pool_.free_raw(p);
+    if (!out.empty()) emit_propagating(std::move(out));
+    return;
+  }
+  const std::uint64_t tf0 = account_cycles_ ? rt::rdtsc() : 0;
+  if (have_log) {
+    if (!v.ok()) v = PiggybackView::create(*p, cfg_.num_partitions);
+    if (!v.ok() || !v.append_log(new_log)) {
+      // The log outgrew this packet's tailroom. The materializing emit
+      // handles it: it re-tries the append as a whole and detours the
+      // message onto a propagating packet when it still cannot fit.
+      PiggybackMessage out;
+      if (auto msg = extract_message(*p)) out = std::move(*msg);
+      out.logs.push_back(std::move(new_log));
+      emit(p, std::move(out));
+      if (account_cycles_) b.cyc_forward += rt::rdtsc() - tf0;
+      return;
+    }
+  }
+  if (trace_id != 0) {
+    span_event(registry_, obs::span_site_node(id_), trace_id,
+               obs::SpanKind::kNodeEgress);
+  }
+  if (buffer_ != nullptr) {
+    buffer_->submit_wire(p, v);
+    if (account_cycles_) b.cyc_forward += rt::rdtsc() - tf0;
+    return;
+  }
+  net::Link* out = out_link_.load(std::memory_order_acquire);
+  if (out == nullptr) {
+    pool_.free_raw(p);
+    return;
+  }
+  // The tail already rides the packet: no append, just stage or send.
+  if (b.owner == this && b.out == out && b.n_tx < kMaxBurst) {
+    b.tx[b.n_tx++] = p;
+  } else {
+    send_now(out, p);
+  }
+  if (account_cycles_) b.cyc_forward += rt::rdtsc() - tf0;
 }
 
 void FtcNode::park(Work&& work) {

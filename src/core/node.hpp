@@ -116,7 +116,9 @@ class FtcNode : rt::NonCopyable {
 
   // --- Wiring (done by the chain runtime / orchestrator). ---
   void attach_data_path(net::Link* in, net::Link* out);
-  void set_forwarder(Forwarder* fwd) { forwarder_ = fwd; }
+  /// Makes this node the chain ingress. Also registers the head-ingress
+  /// piggyback size histograms (the paper's Fig. 5 state-size axis).
+  void set_forwarder(Forwarder* fwd);
   void set_buffer(EgressBuffer* buf) { buffer_ = buf; }
   void set_ring_pred(net::NodeId pred) { ring_pred_id_.store(pred); }
 
@@ -149,6 +151,13 @@ class FtcNode : rt::NonCopyable {
   std::size_t parked_count() const {
     std::lock_guard lock(park_mutex_);
     return parked_.size();
+  }
+  /// Workers currently holding a polled burst (packets popped from the
+  /// ingress link but not yet applied/forwarded). Those packets are in no
+  /// link queue, so quiescence checks must consult this too: a burst in a
+  /// worker's hands can carry logs its successors have not applied yet.
+  std::uint32_t bursts_in_flight() const noexcept {
+    return bursts_in_flight_.load(std::memory_order_acquire);
   }
   /// This node's protocol event trace (park/NACK/recovery transitions).
   const obs::EventTrace& trace() const noexcept { return *trace_; }
@@ -197,9 +206,30 @@ class FtcNode : rt::NonCopyable {
     std::uint32_t thread_id{0};
   };
 
+  /// Sentinel for ViewWork::held_at: no log of this packet is held.
+  static constexpr std::uint32_t kNoHeldLog = ~0U;
+
+  /// Per-packet state of the zero-copy burst path: the opened tail view
+  /// plus the message-order index of the first log that stayed held after
+  /// the burst apply (such packets fall back to the materializing
+  /// park/drain machinery).
+  struct ViewWork {
+    PiggybackView view;
+    std::uint32_t held_at{kNoHeldLog};
+  };
+
   bool worker_body(std::uint32_t thread_id);
-  /// Runs one received packet through the pipeline (burst loop body).
+  /// Runs one received packet through the pipeline (head / legacy burst
+  /// loop body; non-head bursts take apply_logs_burst + process_view).
   void ingest_packet(pkt::Packet* p, std::uint32_t thread_id);
+  /// Phase A over a whole rx burst of tail views: logs are grouped per
+  /// applier so each MAX mutex and each touched store partition is taken
+  /// once per burst, and applicable writes are copied straight from the
+  /// wire. Marks packets with still-held logs in @p vw.
+  void apply_logs_burst(ViewWork* vw, std::size_t n);
+  /// Phases B-D on the packet tail in place. Falls back to the
+  /// materializing path when a log is held or the tailroom runs out.
+  void process_view(pkt::Packet* p, ViewWork& vw, std::uint32_t thread_id);
   void process_work(Work&& work);
   /// Phase A: applies piggyback logs in order. Returns false when blocked
   /// on a missing predecessor log (the caller parks the work).
@@ -265,6 +295,7 @@ class FtcNode : rt::NonCopyable {
   std::atomic<bool> failed_{false};
   std::atomic<bool> quiesced_{false};
   std::atomic<int> active_workers_{0};
+  std::atomic<std::uint32_t> bursts_in_flight_{0};
 
   // Stats / observability.
   rt::Meter meter_;
@@ -275,6 +306,12 @@ class FtcNode : rt::NonCopyable {
   bool account_cycles_{false};
   mutable std::mutex busy_mutex_;
   rt::Histogram busy_hist_;
+  // Head-ingress piggyback size distributions (registered lazily by
+  // set_forwarder; only the chain ingress records them).
+  bool pb_hists_registered_{false};
+  mutable std::mutex pb_mutex_;
+  rt::Histogram pb_bytes_hist_;
+  rt::Histogram pb_logs_hist_;
   std::atomic<std::uint64_t> cyc_packets_{0};
   std::atomic<std::uint64_t> cyc_process_{0};
   std::atomic<std::uint64_t> cyc_piggyback_{0};

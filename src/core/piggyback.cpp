@@ -8,16 +8,10 @@ namespace sfc::ftc {
 
 namespace {
 
-constexpr std::uint32_t kFooterMagic = 0x46544331;  // "FTC1"
-constexpr std::size_t kFooterSize = 8;              // u32 body_len, u32 magic.
-
-// Body layout:
-//   u16 log_count, u16 commit_count, u16 num_partitions, u16 reserved
-//   logs:    u32 mbox; u64 mask; u64 seq[popcount(mask)];
-//            u16 write_count; writes: u64 key, u16 len|0x8000(erase), bytes
-//   commits: u32 mbox; u64 seq[num_partitions]
-constexpr std::uint16_t kEraseFlag = 0x8000;
-constexpr std::uint16_t kLenMask = 0x7fff;
+// Wire layout constants (kFooterMagic etc.) live in the header, shared
+// with the zero-copy PiggybackView.
+constexpr std::uint16_t kEraseFlag = kWireEraseFlag;
+constexpr std::uint16_t kLenMask = kWireLenMask;
 
 class Writer {
  public:
@@ -74,6 +68,24 @@ std::size_t log_size(const PiggybackLog& log) noexcept {
                   8 * static_cast<std::size_t>(std::popcount(log.dep.mask)) + 2;
   for (const auto& w : log.writes) n += 8 + 2 + w.value.size();
   return n;
+}
+
+/// Serializes one log record (shared by append_message and
+/// PiggybackView::append_log so both paths are byte-identical).
+void write_log(Writer& w, const PiggybackLog& log) {
+  w.pod<std::uint32_t>(log.mbox);
+  w.pod<std::uint64_t>(log.dep.mask);
+  for (std::size_t i = 0; i < state::kMaxPartitions; ++i) {
+    if (log.dep.touches(i)) w.pod<std::uint64_t>(log.dep.seq[i]);
+  }
+  w.pod<std::uint16_t>(static_cast<std::uint16_t>(log.writes.size()));
+  for (const auto& wr : log.writes) {
+    w.pod<std::uint64_t>(wr.key);
+    const auto len = static_cast<std::uint16_t>(wr.value.size());
+    w.pod<std::uint16_t>(wr.erase ? static_cast<std::uint16_t>(len | kEraseFlag)
+                                  : len);
+    w.raw(wr.value.data(), wr.value.size());
+  }
 }
 
 }  // namespace
@@ -135,21 +147,7 @@ bool append_message(pkt::Packet& p, const PiggybackMessage& msg,
   w.pod<std::uint16_t>(static_cast<std::uint16_t>(num_partitions));
   w.pod<std::uint16_t>(0);
 
-  for (const auto& log : msg.logs) {
-    w.pod<std::uint32_t>(log.mbox);
-    w.pod<std::uint64_t>(log.dep.mask);
-    for (std::size_t i = 0; i < state::kMaxPartitions; ++i) {
-      if (log.dep.touches(i)) w.pod<std::uint64_t>(log.dep.seq[i]);
-    }
-    w.pod<std::uint16_t>(static_cast<std::uint16_t>(log.writes.size()));
-    for (const auto& wr : log.writes) {
-      w.pod<std::uint64_t>(wr.key);
-      const auto len = static_cast<std::uint16_t>(wr.value.size());
-      w.pod<std::uint16_t>(wr.erase ? static_cast<std::uint16_t>(len | kEraseFlag)
-                                    : len);
-      w.raw(wr.value.data(), wr.value.size());
-    }
-  }
+  for (const auto& log : msg.logs) write_log(w, log);
   for (const auto& c : msg.commits) {
     w.pod<std::uint32_t>(c.mbox);
     for (std::size_t i = 0; i < num_partitions; ++i) {
@@ -290,6 +288,214 @@ bool deserialize_logs(std::span<const std::uint8_t>& in,
     out.push_back(std::move(log));
   }
   return true;
+}
+
+PiggybackLog materialize_log(const WireLog& wire) {
+  PiggybackLog log;
+  log.mbox = wire.mbox;
+  log.dep = wire.dep;
+  for_each_wire_write(wire, [&](const state::WireUpdate& u) {
+    state::StateUpdate s;
+    s.key = u.key;
+    s.erase = u.erase;
+    s.value.assign(u.value);
+    log.writes.push_back(std::move(s));
+  });
+  return log;
+}
+
+PiggybackView PiggybackView::open(pkt::Packet& p) noexcept {
+  PiggybackView v;
+  if (!has_message(p)) return v;
+  std::uint32_t body_len = 0;
+  std::memcpy(&body_len, p.data() + p.size() - kFooterSize, 4);
+  if (p.size() < kFooterSize + body_len || body_len < kWireHeaderSize) return v;
+
+  const std::uint8_t* b = p.data() + p.size() - kFooterSize - body_len;
+  std::uint16_t log_count = 0, commit_count = 0, num_partitions = 0;
+  std::memcpy(&log_count, b, 2);
+  std::memcpy(&commit_count, b + 2, 2);
+  std::memcpy(&num_partitions, b + 4, 2);
+  if (num_partitions > state::kMaxPartitions) return v;
+
+  // One validation walk over the log region; iteration and mutation are
+  // bounds-check-free afterwards.
+  std::size_t off = kWireHeaderSize;
+  for (std::uint16_t i = 0; i < log_count; ++i) {
+    if (body_len - off < 12) return v;
+    std::uint64_t mask = 0;
+    std::memcpy(&mask, b + off + 4, 8);
+    // Bits beyond the partition range would desynchronize the sequence
+    // array length between writer and reader: reject as malformed.
+    if ((mask >> state::kMaxPartitions) != 0) return v;
+    std::size_t need = 12 + 8 * static_cast<std::size_t>(std::popcount(mask));
+    if (body_len - off < need + 2) return v;
+    std::uint16_t write_count = 0;
+    std::memcpy(&write_count, b + off + need, 2);
+    need += 2;
+    for (std::uint16_t wi = 0; wi < write_count; ++wi) {
+      if (body_len - off < need + 10) return v;
+      std::uint16_t len_flags = 0;
+      std::memcpy(&len_flags, b + off + need + 8, 2);
+      need += 10 + (len_flags & kLenMask);
+      if (body_len - off < need) return v;
+    }
+    v.log_off_.push_back(static_cast<std::uint32_t>(off));
+    off += need;
+  }
+  const std::size_t commit_bytes =
+      static_cast<std::size_t>(commit_count) * (4 + 8 * num_partitions);
+  if (body_len - off != commit_bytes) {
+    v.log_off_.clear();
+    return v;
+  }
+
+  v.p_ = &p;
+  v.body_off_ = static_cast<std::uint32_t>(p.size() - kFooterSize - body_len);
+  v.body_len_ = body_len;
+  v.logs_end_ = static_cast<std::uint32_t>(off);
+  v.commit_count_ = commit_count;
+  v.num_partitions_ = num_partitions;
+  return v;
+}
+
+PiggybackView PiggybackView::create(pkt::Packet& p, std::size_t num_partitions) {
+  if (!append_message(p, PiggybackMessage{}, num_partitions)) {
+    return PiggybackView{};
+  }
+  return open(p);
+}
+
+WireLog PiggybackView::log(std::size_t i) const noexcept {
+  const std::uint8_t* b = body() + log_off_[i];
+  WireLog out;
+  std::memcpy(&out.mbox, b, 4);
+  std::memcpy(&out.dep.mask, b + 4, 8);
+  const std::uint8_t* cursor = b + 12;
+  for (std::uint64_t m = out.dep.mask; m != 0; m &= m - 1) {
+    const auto pidx = static_cast<std::size_t>(std::countr_zero(m));
+    std::memcpy(&out.dep.seq[pidx], cursor, 8);
+    cursor += 8;
+  }
+  std::memcpy(&out.write_count, cursor, 2);
+  out.writes = cursor + 2;
+  const std::uint32_t end =
+      i + 1 < log_off_.size() ? log_off_[i + 1] : logs_end_;
+  out.wire_size = end - log_off_[i];
+  return out;
+}
+
+bool PiggybackView::has_logs_of(MboxId mbox) const noexcept {
+  for (const std::uint32_t off : log_off_) {
+    MboxId m = 0;
+    std::memcpy(&m, body() + off, 4);
+    if (m == mbox) return true;
+  }
+  return false;
+}
+
+MboxId PiggybackView::commit(std::size_t i, MaxVector& out) const noexcept {
+  const std::uint8_t* entry = body() + logs_end_ + i * commit_entry_size();
+  MboxId mbox = 0;
+  std::memcpy(&mbox, entry, 4);
+  out = MaxVector{};
+  std::memcpy(out.seq.data(), entry + 4, 8 * num_partitions_);
+  return mbox;
+}
+
+bool PiggybackView::set_commit(MboxId mbox, const MaxVector& max) {
+  std::uint8_t* entry = body() + logs_end_;
+  for (std::uint16_t i = 0; i < commit_count_; ++i, entry += commit_entry_size()) {
+    MboxId m = 0;
+    std::memcpy(&m, entry, 4);
+    if (m == mbox) {
+      // Fixed-width overwrite: the dominant case once a tail has attached
+      // its vector before (latest wins, exactly like the legacy
+      // PiggybackMessage::set_commit).
+      std::memcpy(entry + 4, max.seq.data(), 8 * num_partitions_);
+      return true;
+    }
+  }
+  const std::size_t need = commit_entry_size();
+  if (p_->tailroom() < need) return false;
+  p_->push_back(need);
+  // Shift the footer up and write the new commit where it was. The two
+  // regions cannot overlap (a commit entry is at least 12 bytes).
+  std::uint8_t* b = body();
+  std::memmove(b + body_len_ + need, b + body_len_, kFooterSize);
+  std::memcpy(b + body_len_, &mbox, 4);
+  std::memcpy(b + body_len_ + 4, max.seq.data(), 8 * num_partitions_);
+  ++commit_count_;
+  body_len_ += static_cast<std::uint32_t>(need);
+  sync_header_footer();
+  return true;
+}
+
+bool PiggybackView::append_log(const PiggybackLog& log) {
+  const std::size_t need = log_size(log);
+  if (p_->tailroom() < need) return false;
+  p_->push_back(need);
+  std::uint8_t* commits_begin = body() + logs_end_;
+  std::memmove(commits_begin + need, commits_begin,
+               (body_len_ - logs_end_) + kFooterSize);
+  Writer w(commits_begin);
+  write_log(w, log);
+  log_off_.push_back(logs_end_);
+  logs_end_ += static_cast<std::uint32_t>(need);
+  body_len_ += static_cast<std::uint32_t>(need);
+  sync_header_footer();
+  return true;
+}
+
+std::size_t PiggybackView::strip_logs_of(MboxId mbox) {
+  std::uint8_t* b = body();
+  std::uint32_t w = kWireHeaderSize;  // Compaction write cursor.
+  std::size_t removed = 0;
+  rt::SmallVector<std::uint32_t, 8> kept;
+  for (std::size_t i = 0; i < log_off_.size(); ++i) {
+    const std::uint32_t off = log_off_[i];
+    const std::uint32_t end = i + 1 < log_off_.size() ? log_off_[i + 1] : logs_end_;
+    MboxId m = 0;
+    std::memcpy(&m, b + off, 4);
+    if (m == mbox) {
+      ++removed;
+      continue;
+    }
+    if (w != off) std::memmove(b + w, b + off, end - off);
+    kept.push_back(w);
+    w += end - off;
+  }
+  if (removed == 0) return 0;  // Forwarded-unchanged bytes never touched.
+  std::memmove(b + w, b + logs_end_, (body_len_ - logs_end_) + kFooterSize);
+  const std::uint32_t delta = logs_end_ - w;
+  log_off_ = std::move(kept);
+  logs_end_ = w;
+  body_len_ -= delta;
+  p_->trim_back(delta);
+  sync_header_footer();
+  return removed;
+}
+
+void PiggybackView::strip_tail() noexcept {
+  p_->trim_back(tail_size());
+  p_ = nullptr;
+}
+
+void PiggybackView::sync_header_footer() noexcept {
+  std::uint8_t* b = body();
+  const auto log_count = static_cast<std::uint16_t>(log_off_.size());
+  std::memcpy(b, &log_count, 2);
+  std::memcpy(b + 2, &commit_count_, 2);
+  std::memcpy(b + body_len_, &body_len_, 4);
+  std::memcpy(b + body_len_ + 4, &kFooterMagic, 4);
+}
+
+std::size_t wire_size_hint(const pkt::Packet& p) noexcept {
+  if (!has_message(p)) return p.size();
+  std::uint32_t body_len = 0;
+  std::memcpy(&body_len, p.data() + p.size() - kFooterSize, 4);
+  if (p.size() < kFooterSize + body_len) return p.size();
+  return p.size() - kFooterSize - body_len;
 }
 
 }  // namespace sfc::ftc

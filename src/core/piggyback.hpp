@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,20 @@
 namespace sfc::ftc {
 
 using MboxId = std::uint32_t;
+
+/// --- Wire constants (shared by the serializer and the zero-copy view). ---
+///
+/// Footer: u32 body_len, u32 magic — fixed-size and last, so a receiver
+/// finds the message without tracking offsets.
+/// Body:   u16 log_count, u16 commit_count, u16 num_partitions, u16 reserved
+///   logs:    u32 mbox; u64 mask; u64 seq[popcount(mask)];
+///            u16 write_count; writes: u64 key, u16 len|0x8000(erase), bytes
+///   commits: u32 mbox; u64 seq[num_partitions]
+inline constexpr std::uint32_t kFooterMagic = 0x46544331;  // "FTC1"
+inline constexpr std::size_t kFooterSize = 8;
+inline constexpr std::size_t kWireHeaderSize = 8;
+inline constexpr std::uint16_t kWireEraseFlag = 0x8000;
+inline constexpr std::uint16_t kWireLenMask = 0x7fff;
 
 /// State updates of one packet transaction at one middlebox, tagged with
 /// the dependency vector that orders it (paper Fig. 3).
@@ -94,5 +109,122 @@ void serialize_logs(std::span<const PiggybackLog> logs,
                     std::vector<std::uint8_t>& out);
 bool deserialize_logs(std::span<const std::uint8_t>& in,
                       std::vector<PiggybackLog>& out);
+
+/// --- Zero-copy in-place processing (paper §5.1: "there is no need to
+/// actually strip and reattach it"). ---
+
+/// One log's header decoded off the wire, with cursors into the packet
+/// tail for its write set. Valid only while the packet bytes it points
+/// into stay alive and unmoved.
+struct WireLog {
+  MboxId mbox{0};
+  DepVector dep{};
+  const std::uint8_t* writes{nullptr};  ///< First serialized write.
+  std::uint16_t write_count{0};
+  std::uint32_t wire_size{0};  ///< Full size of this log record on the wire.
+};
+
+/// Calls fn(const state::WireUpdate&) for each write of @p log, values as
+/// spans over the wire bytes. Bounds were validated when the owning view
+/// was opened.
+template <typename Fn>
+void for_each_wire_write(const WireLog& log, Fn&& fn) {
+  const std::uint8_t* p = log.writes;
+  for (std::uint16_t i = 0; i < log.write_count; ++i) {
+    std::uint64_t key = 0;
+    std::uint16_t len_flags = 0;
+    std::memcpy(&key, p, 8);
+    std::memcpy(&len_flags, p + 8, 2);
+    p += 10;
+    const std::size_t len = len_flags & kWireLenMask;
+    fn(state::WireUpdate{key, {p, len}, (len_flags & kWireEraseFlag) != 0});
+    p += len;
+  }
+}
+
+/// Copies one wire log into an owning PiggybackLog (history recording and
+/// fallback paths, where the log must outlive the packet).
+PiggybackLog materialize_log(const WireLog& log);
+
+/// Zero-copy cursor over the piggyback message serialized in a packet's
+/// tail. open() validates the whole message once — footer, header, every
+/// log and write bound, the commit-region width — and records per-log
+/// offsets, so iteration and mutation afterwards are bounds-check-free.
+/// Mutators keep the packet bytes, the header/footer fields and the
+/// internal offsets consistent; bytes of logs that are merely forwarded
+/// are never touched. The view holds a pointer into the packet: it must
+/// not outlive it, and any other tail mutation invalidates it.
+class PiggybackView {
+ public:
+  PiggybackView() = default;
+
+  /// Opens the message at the packet tail. The view is invalid (!ok())
+  /// when no message is attached or the tail is malformed; open() never
+  /// modifies the packet.
+  static PiggybackView open(pkt::Packet& p) noexcept;
+
+  /// Appends an empty message (header + footer) to a packet without one
+  /// and opens it. Invalid view when the tailroom is short.
+  static PiggybackView create(pkt::Packet& p, std::size_t num_partitions);
+
+  bool ok() const noexcept { return p_ != nullptr; }
+  std::size_t log_count() const noexcept { return log_off_.size(); }
+  std::size_t commit_count() const noexcept { return commit_count_; }
+  std::size_t num_partitions() const noexcept { return num_partitions_; }
+  /// Bytes the message occupies at the packet tail (body + footer).
+  std::size_t tail_size() const noexcept { return body_len_ + kFooterSize; }
+  /// Packet bytes preceding the message (the wire frame a parser sees).
+  std::size_t wire_size() const noexcept { return p_->size() - tail_size(); }
+
+  /// Decodes log @p i's header; its writes stay on the wire.
+  WireLog log(std::size_t i) const noexcept;
+  bool has_logs_of(MboxId mbox) const noexcept;
+
+  /// Decodes commit vector @p i into @p out (partitions beyond
+  /// num_partitions() zero-filled, as extract_message does) and returns
+  /// its mbox.
+  MboxId commit(std::size_t i, MaxVector& out) const noexcept;
+
+  /// Overwrites in place (fixed width per num_partitions) or appends the
+  /// commit vector for @p mbox. Returns false — packet unmodified — when
+  /// an append would not fit the tailroom.
+  bool set_commit(MboxId mbox, const MaxVector& max);
+
+  /// Serializes @p log at the end of the log region, shifting the commit
+  /// region and footer up. Returns false (packet unmodified) when the
+  /// tailroom cannot hold it.
+  bool append_log(const PiggybackLog& log);
+
+  /// Removes every log of @p mbox with one compacting pass over the log
+  /// region; logs that stay are moved at most once and a message without
+  /// logs of @p mbox is untouched. Returns the number removed.
+  std::size_t strip_logs_of(MboxId mbox);
+
+  /// Removes the whole message from the packet (buffer hand-off: packets
+  /// leave the chain bare). The view is invalid afterwards.
+  void strip_tail() noexcept;
+
+ private:
+  std::uint8_t* body() const noexcept { return p_->data() + body_off_; }
+  std::size_t commit_entry_size() const noexcept {
+    return 4 + 8 * static_cast<std::size_t>(num_partitions_);
+  }
+  /// Rewrites the header counts and the (possibly moved) footer.
+  void sync_header_footer() noexcept;
+
+  pkt::Packet* p_{nullptr};
+  std::uint32_t body_off_{0};   ///< Offset of the body from packet data().
+  std::uint32_t body_len_{0};
+  std::uint32_t logs_end_{0};   ///< Body offset where the commit region starts.
+  std::uint16_t commit_count_{0};
+  std::uint16_t num_partitions_{0};
+  rt::SmallVector<std::uint32_t, 8> log_off_;  ///< Per-log body offsets.
+};
+
+/// Frame length a parser should see for @p p: packet size minus a
+/// syntactically plausible piggyback tail (footer peek only, no full
+/// validation — parse_packet() stays inside the returned length either
+/// way). Returns p.size() when no tail is attached.
+std::size_t wire_size_hint(const pkt::Packet& p) noexcept;
 
 }  // namespace sfc::ftc

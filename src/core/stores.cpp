@@ -85,6 +85,49 @@ InOrderApplier::Offer InOrderApplier::offer(const PiggybackLog& log) {
   return Offer::kApplied;
 }
 
+void InOrderApplier::offer_burst(std::span<const WireLog> logs,
+                                 Offer* results) {
+  // Applicable writes across the burst, collected in log order so
+  // same-key writes land newest-last, exactly as per-log applies would.
+  rt::SmallVector<state::WireUpdate, 16> updates;
+  std::uint64_t n_applied = 0;
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      switch (classify(max_, logs[i].dep)) {
+        case LogFit::kDuplicate:
+          results[i] = Offer::kDuplicate;
+          continue;
+        case LogFit::kFuture:
+          results[i] = Offer::kHeld;
+          continue;
+        case LogFit::kApplicable:
+          break;
+      }
+      max_.advance(logs[i].dep);
+      for_each_wire_write(logs[i], [&](const state::WireUpdate& u) {
+        updates.push_back(u);
+      });
+      results[i] = Offer::kApplied;
+      ++n_applied;
+    }
+    // Apply inside the MAX mutex, same as offer(): the writes must be in
+    // the store before the mutex releases, or a dependent log offered by
+    // a sibling thread could overtake them.
+    if (!updates.empty()) store_.apply_wire({updates.data(), updates.size()});
+  }
+  if (n_applied != 0) {
+    // History needs owning copies (logs must outlive the packet); only
+    // applied logs pay the materialization, relayed ones never do.
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      if (results[i] == Offer::kApplied) {
+        history_.record(materialize_log(logs[i]));
+      }
+    }
+    applied_.fetch_add(n_applied, std::memory_order_release);
+  }
+}
+
 void InOrderApplier::serialize(std::vector<std::uint8_t>& out) {
   std::vector<std::uint8_t> store_blob;
   store_.serialize(store_blob);

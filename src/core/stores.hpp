@@ -31,6 +31,12 @@ class LogHistory {
     if (logs_.size() > capacity_) logs_.pop_front();
   }
 
+  void record(PiggybackLog&& log) {
+    std::lock_guard lock(mutex_);
+    logs_.push_back(std::move(log));
+    if (logs_.size() > capacity_) logs_.pop_front();
+  }
+
   /// Drops every log covered by @p commit.
   void prune(const MaxVector& commit) {
     std::lock_guard lock(mutex_);
@@ -122,6 +128,22 @@ class InOrderApplier : rt::NonCopyable {
   /// (the caller parks the packet). Applied logs are recorded in the
   /// history for retransmission to this replica's own successor.
   Offer offer(const PiggybackLog& log);
+
+  /// Wire-path offer(): classifies a whole burst's logs (cursors into
+  /// packet bytes, in arrival order) under one MAX-mutex acquisition and
+  /// copies every applicable write straight from the wire into the store
+  /// with one partition-lock round — each touched partition is locked
+  /// once per burst instead of once per log. Writes one Offer per log
+  /// into @p results. Logs of held packets stay unapplied (kHeld) and are
+  /// re-offered by the caller's park/drain machinery.
+  void offer_burst(std::span<const WireLog> logs, Offer* results);
+
+  /// Single-log wire offer (held-log retry path).
+  Offer offer_wire(const WireLog& log) {
+    Offer r = Offer::kHeld;
+    offer_burst({&log, 1}, &r);
+    return r;
+  }
 
   /// Current MAX vector (the tail's commit vector when this replica is the
   /// tail of its group).

@@ -1,5 +1,8 @@
 #include "packet/packet_pool.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "runtime/common.hpp"
 
 namespace sfc::pkt {
@@ -35,9 +38,24 @@ void PacketPool::free_raw(Packet* p) noexcept {
   }
   // The lock-free queue can transiently report "full" while a concurrent
   // alloc is mid-pop (its slot sequence not yet republished). The pool can
-  // never be truly over capacity, so spin until the push lands — dropping
-  // would leak the packet forever.
-  while (!free_list_.try_push(std::move(p))) rt::cpu_relax();
+  // never be truly over capacity, so retry until the push lands — dropping
+  // would leak the packet forever. Bounded exponential backoff (same shape
+  // as Link::send_blocking): short cpu_relax bursts cover the common
+  // one-republish race; past ~64 spins the core is better handed to the
+  // thread holding up the slot.
+  std::uint64_t retries = 0;
+  for (unsigned backoff = 1; !free_list_.try_push(std::move(p));
+       backoff = std::min(backoff * 2, 1024u)) {
+    ++retries;
+    if (backoff <= 64) {
+      for (unsigned i = 0; i < backoff; ++i) rt::cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  if (retries != 0) {
+    free_retries_.fetch_add(retries, std::memory_order_relaxed);
+  }
 }
 
 bool PacketPool::owns(const Packet* p) const noexcept {

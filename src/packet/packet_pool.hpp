@@ -6,7 +6,9 @@
 // how a DPDK mempool behaves.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -45,10 +47,18 @@ class PacketPool : rt::NonCopyable {
   /// True if @p p was allocated from this pool (debug aid).
   bool owns(const Packet* p) const noexcept;
 
+  /// Total free_raw() retries against a transiently-full free list. A
+  /// nonzero value is normal under contention; a growing one means frees
+  /// keep racing concurrent allocs (exported as `pool.free_retries`).
+  std::uint64_t free_retries() const noexcept {
+    return free_retries_.load(std::memory_order_relaxed);
+  }
+
  private:
   const std::size_t capacity_;
   std::unique_ptr<Packet[]> slab_;
   rt::MpmcQueue<Packet*> free_list_;
+  std::atomic<std::uint64_t> free_retries_{0};
 };
 
 }  // namespace sfc::pkt

@@ -42,6 +42,15 @@ struct StateUpdate {
   }
 };
 
+/// A state update whose value references bytes in place (the zero-copy
+/// wire apply path): the span must stay valid for the duration of the
+/// call it is passed to.
+struct WireUpdate {
+  Key key{0};
+  std::span<const std::uint8_t> value{};
+  bool erase{false};
+};
+
 class StateStore : rt::NonCopyable {
  public:
   /// @param num_partitions Power of two in [1, 64]. The paper recommends
@@ -67,6 +76,13 @@ class StateStore : rt::NonCopyable {
   /// Applies a batch of updates (replica path): takes the touched
   /// partitions' locks in index order, applies, releases.
   void apply(std::span<const StateUpdate> updates);
+
+  /// apply() for updates referencing wire bytes in place: values are
+  /// copied straight from the packet into the store under the partition
+  /// lock, with no intermediate StateUpdate materialization. Callers
+  /// batch a whole burst's writes so each touched partition is locked
+  /// once per burst.
+  void apply_wire(std::span<const WireUpdate> updates);
 
   /// Convenience point read that takes the partition lock itself.
   std::optional<Bytes> get(Key key);
