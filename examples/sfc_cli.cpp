@@ -46,6 +46,11 @@ struct Options {
   double loss{0.0};
   double reorder{0.0};
   double link_delay_us{0.0};
+  ftc::TransportMode transport{ftc::TransportMode::kRaw};
+  std::uint32_t rel_window{0};        ///< 0 = library default.
+  double rel_rto_min_us{0.0};         ///< 0 = library default.
+  double rel_rto_max_us{0.0};         ///< 0 = library default.
+  bool rel_congestion{false};
   int fail_position{-1};
   double fail_after_s{0.5};
   std::string pcap_path;
@@ -73,6 +78,14 @@ void usage() {
       "  --loss P            per-link packet drop probability (default 0)\n"
       "  --reorder P         per-link reorder probability (default 0)\n"
       "  --link-delay US     per-link one-way delay in microseconds\n"
+      "  --transport raw|reliable   segment transport: raw links drop on\n"
+      "                      wire loss; reliable runs the windowed adaptive-\n"
+      "                      RTO channel on every segment (default raw)\n"
+      "  --rel-window N      reliable: sliding-window size in packets\n"
+      "                      (rounded down to a power of two, default 128)\n"
+      "  --rel-rto-min US    reliable: RTO clamp floor in microseconds\n"
+      "  --rel-rto-max US    reliable: RTO clamp ceiling in microseconds\n"
+      "  --rel-cc            reliable: enable AIMD congestion avoidance\n"
       "  --fail POS          crash the server at chain position POS mid-run\n"
       "  --fail-after SEC    when to crash it (default 0.5)\n"
       "  --pcap FILE         capture chain egress to a pcap file\n"
@@ -200,6 +213,31 @@ bool parse_args(int argc, char** argv, Options& opt) {
       const char* v = next("--link-delay");
       if (v == nullptr) return false;
       opt.link_delay_us = std::atof(v);
+    } else if (arg == "--transport") {
+      const char* v = next("--transport");
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "raw") == 0) {
+        opt.transport = ftc::TransportMode::kRaw;
+      } else if (std::strcmp(v, "reliable") == 0) {
+        opt.transport = ftc::TransportMode::kReliable;
+      } else {
+        std::fprintf(stderr, "unknown transport %s\n", v);
+        return false;
+      }
+    } else if (arg == "--rel-window") {
+      const char* v = next("--rel-window");
+      if (v == nullptr) return false;
+      opt.rel_window = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (arg == "--rel-rto-min") {
+      const char* v = next("--rel-rto-min");
+      if (v == nullptr) return false;
+      opt.rel_rto_min_us = std::atof(v);
+    } else if (arg == "--rel-rto-max") {
+      const char* v = next("--rel-rto-max");
+      if (v == nullptr) return false;
+      opt.rel_rto_max_us = std::atof(v);
+    } else if (arg == "--rel-cc") {
+      opt.rel_congestion = true;
     } else if (arg == "--fail") {
       const char* v = next("--fail");
       if (v == nullptr) return false;
@@ -260,6 +298,17 @@ int main(int argc, char** argv) {
   spec.cfg.link.loss = opt.loss;
   spec.cfg.link.reorder = opt.reorder;
   spec.cfg.link.delay_ns = static_cast<std::uint64_t>(opt.link_delay_us * 1e3);
+  spec.cfg.transport = opt.transport;
+  if (opt.rel_window != 0) spec.cfg.reliable.window = opt.rel_window;
+  if (opt.rel_rto_min_us > 0) {
+    spec.cfg.reliable.rto_min_ns =
+        static_cast<std::uint64_t>(opt.rel_rto_min_us * 1e3);
+  }
+  if (opt.rel_rto_max_us > 0) {
+    spec.cfg.reliable.rto_max_ns =
+        static_cast<std::uint64_t>(opt.rel_rto_max_us * 1e3);
+  }
+  spec.cfg.reliable.congestion_avoidance = opt.rel_congestion;
   for (const auto& name : opt.chain) {
     bool ok = false;
     auto factory = parse_mbox(name, ok);
@@ -285,9 +334,10 @@ int main(int argc, char** argv) {
   std::unique_ptr<obs::SpanCollector> spans;
   if (spans_on) spans = std::make_unique<obs::SpanCollector>(&chain.registry());
 
-  std::printf("chain: mode=%s servers=%u f=%u threads=%zu rate=%.0f pps\n",
-              ftc::to_string(opt.mode), chain.ring_size(), opt.f, opt.threads,
-              opt.rate_pps);
+  std::printf(
+      "chain: mode=%s transport=%s servers=%u f=%u threads=%zu rate=%.0f pps\n",
+      ftc::to_string(opt.mode), ftc::to_string(opt.transport),
+      chain.ring_size(), opt.f, opt.threads, opt.rate_pps);
   if (spans_on) {
     std::printf("trace: sampling 1 in %llu packets\n",
                 static_cast<unsigned long long>(opt.trace_sample));

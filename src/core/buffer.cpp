@@ -18,7 +18,7 @@ inline void span_event(obs::Registry* reg, std::uint64_t trace_id,
 
 }  // namespace
 
-EgressBuffer::EgressBuffer(pkt::PacketPool& pool, net::Link& egress,
+EgressBuffer::EgressBuffer(pkt::PacketPool& pool, net::Port& egress,
                            FeedbackChannel& feedback, obs::Registry* registry)
     : pool_(pool), egress_(egress), feedback_(feedback) {
   if (registry == nullptr) {

@@ -34,7 +34,7 @@ class EgressBuffer : rt::NonCopyable {
  public:
   /// @param egress  Link carrying released packets out of the chain.
   /// @param registry Metrics sink; a private registry is used when null.
-  EgressBuffer(pkt::PacketPool& pool, net::Link& egress,
+  EgressBuffer(pkt::PacketPool& pool, net::Port& egress,
                FeedbackChannel& feedback, obs::Registry* registry = nullptr);
 
   /// Accepts a packet at the end of the chain with its final piggyback
@@ -89,7 +89,7 @@ class EgressBuffer : rt::NonCopyable {
   void flush_releases_locked();
 
   pkt::PacketPool& pool_;
-  net::Link& egress_;
+  net::Port& egress_;
   FeedbackChannel& feedback_;
   obs::Registry* registry_{nullptr};  ///< Span sink lookup (never null).
 

@@ -46,11 +46,20 @@ FtcNode::MboxFactory ChainRuntime::factory_for(std::uint32_t position) const {
                                                 : FtcNode::MboxFactory{};
 }
 
+std::unique_ptr<net::Port> ChainRuntime::make_segment(std::uint32_t i) {
+  const std::string name = "seg" + std::to_string(i);
+  if (spec_.cfg.transport == TransportMode::kReliable) {
+    return std::make_unique<net::ReliableChannel>(
+        *pool_, spec_.cfg.link, spec_.cfg.reliable, &registry_, name,
+        obs::span_site_link(i));
+  }
+  return std::make_unique<net::Link>(*pool_, spec_.cfg.link, &registry_, name,
+                                     obs::span_site_link(i));
+}
+
 void ChainRuntime::build_ftc() {
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    links_.push_back(std::make_unique<net::Link>(
-        *pool_, spec_.cfg.link, &registry_, "seg" + std::to_string(i),
-        obs::span_site_link(i)));
+    links_.push_back(make_segment(i));
   }
   egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{},
                                              &registry_, "egress",
@@ -90,9 +99,7 @@ void ChainRuntime::build_ftc() {
 
 void ChainRuntime::build_nf() {
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    links_.push_back(std::make_unique<net::Link>(
-        *pool_, spec_.cfg.link, &registry_, "seg" + std::to_string(i),
-        obs::span_site_link(i)));
+    links_.push_back(make_segment(i));
   }
   egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{},
                                              &registry_, "egress",
@@ -111,7 +118,7 @@ void ChainRuntime::build_ftmb(bool snapshots) {
   // Segment links feed each middlebox's logger; two internal links connect
   // logger <-> master (the paper's dedicated logger server per middlebox).
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    links_.push_back(std::make_unique<net::Link>(*pool_, spec_.cfg.link));
+    links_.push_back(make_segment(i));
   }
   egress_link_ = std::make_unique<net::Link>(*pool_, net::LinkConfig{});
 

@@ -47,8 +47,13 @@ class ChainRuntime : rt::NonCopyable {
   void start();
   void stop();
 
-  net::Link& ingress() noexcept { return *links_.front(); }
-  net::Link& egress() noexcept { return *egress_link_; }
+  net::Port& ingress() noexcept { return *links_.front(); }
+  net::Port& egress() noexcept { return *egress_link_; }
+  /// Inter-server segment ports (links_[i] feeds ring position i). With
+  /// transport == kReliable these are ReliableChannels; benches read their
+  /// adaptive RTO through Port::rto_ns().
+  std::size_t num_segments() const noexcept { return links_.size(); }
+  net::Port& segment(std::size_t i) noexcept { return *links_[i]; }
   /// Pool for generator traffic. Protocol-internal packets (propagating
   /// packets, FTMB PALs) come from a separate reserve so a saturating
   /// generator cannot starve the replication machinery into deadlock.
@@ -132,8 +137,12 @@ class ChainRuntime : rt::NonCopyable {
   net::ControlPlane ctrl_{&registry_};
   net::NodeId next_node_id_{1};
 
+  /// Builds segment i's port per spec_.cfg.transport (raw Link or
+  /// ReliableChannel over the same LinkConfig).
+  std::unique_ptr<net::Port> make_segment(std::uint32_t i);
+
   // links_[i] feeds ring position i; links_[i+1] carries its output.
-  std::vector<std::unique_ptr<net::Link>> links_;
+  std::vector<std::unique_ptr<net::Port>> links_;
   std::unique_ptr<net::Link> egress_link_;
 
   // FTC mode.

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "net/link.hpp"
+#include "net/reliable.hpp"
 
 namespace sfc::ftc {
 
@@ -29,6 +30,21 @@ constexpr const char* to_string(ChainMode m) noexcept {
 /// Upper bound on the data-path burst size (rx/tx arrays live on worker
 /// stacks; DPDK caps its burst the same way).
 inline constexpr std::size_t kMaxBurst = 256;
+
+/// What carries packets between chain segments.
+enum class TransportMode : std::uint8_t {
+  kRaw,       ///< Bare simulated links: wire loss is end-to-end loss.
+  kReliable,  ///< net::ReliableChannel per segment: windowed, adaptive-RTO
+              ///< retransmission hides wire loss from the chain.
+};
+
+constexpr const char* to_string(TransportMode t) noexcept {
+  switch (t) {
+    case TransportMode::kRaw: return "raw";
+    case TransportMode::kReliable: return "reliable";
+  }
+  return "?";
+}
 
 struct ChainConfig {
   /// Failures tolerated: each middlebox's state is replicated on f+1
@@ -57,13 +73,26 @@ struct ChainConfig {
   /// Template for the inter-server data-plane links.
   net::LinkConfig link{};
 
+  /// Segment transport: raw links or windowed reliable channels.
+  TransportMode transport{TransportMode::kRaw};
+
+  /// Window/RTO parameters when transport == kReliable.
+  net::ReliableConfig reliable{};
+
   /// Forwarder emits a propagating packet when the chain has been idle
   /// this long and state dissemination is pending (paper §5.1).
   std::uint64_t propagate_interval_ns{200'000};
 
   /// A replica holding an out-of-order piggyback log this long requests a
-  /// retransmission from its predecessor (paper §4.1).
+  /// retransmission from its predecessor (paper §4.1). With a reliable
+  /// transport underneath, the parked-work timeout instead tracks the
+  /// channel's adaptive RTO; this fixed value then acts as the CEILING of
+  /// the clamp (and remains the exact timeout on raw links).
   std::uint64_t retransmit_timeout_ns{3'000'000};
+
+  /// Floor of the adaptive parked-work timeout clamp (only used when the
+  /// ingress transport exposes an RTO estimate).
+  std::uint64_t retransmit_timeout_floor_ns{200'000};
 
   /// Minimum spacing between retransmit requests for the same store.
   std::uint64_t nack_min_gap_ns{1'000'000};

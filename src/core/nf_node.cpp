@@ -28,7 +28,7 @@ void NfNode::start() {
 }
 
 bool NfNode::worker_body(std::uint32_t thread_id) {
-  net::Link* in = in_link_.load(std::memory_order_acquire);
+  net::Port* in = in_link_.load(std::memory_order_acquire);
   if (in == nullptr) return false;
   pkt::Packet* rx[kMaxBurst];
   const std::size_t got = in->poll_burst(rx, burst_size_);
@@ -56,7 +56,7 @@ bool NfNode::worker_body(std::uint32_t thread_id) {
     // backpressure in the flush below is excluded).
     record_busy((rt::rdtsc() - b0) / got, got);
   }
-  net::Link* out = out_link_.load(std::memory_order_acquire);
+  net::Port* out = out_link_.load(std::memory_order_acquire);
   if (out == nullptr) {
     for (std::size_t i = 0; i < n_tx; ++i) pool_.free_raw(tx[i]);
     return true;

@@ -47,7 +47,7 @@ class NfNode : rt::NonCopyable {
 
   ~NfNode() { stop(); }
 
-  void attach_data_path(net::Link* in, net::Link* out) {
+  void attach_data_path(net::Port* in, net::Port* out) {
     in_link_.store(in);
     out_link_.store(out);
   }
@@ -91,8 +91,8 @@ class NfNode : rt::NonCopyable {
   state::StateStore store_;
   state::TxnContext txn_ctx_;
 
-  std::atomic<net::Link*> in_link_{nullptr};
-  std::atomic<net::Link*> out_link_{nullptr};
+  std::atomic<net::Port*> in_link_{nullptr};
+  std::atomic<net::Port*> out_link_{nullptr};
   std::vector<std::unique_ptr<rt::Worker>> workers_;
   rt::Meter meter_;
   std::atomic<std::uint64_t> drops_{0};

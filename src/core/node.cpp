@@ -36,7 +36,7 @@ thread_local std::uint64_t t_blocked_cycles = 0;
 // protocol semantics never depend on an open scope.
 struct BurstScope {
   sfc::ftc::FtcNode* owner{nullptr};
-  sfc::net::Link* out{nullptr};
+  sfc::net::Port* out{nullptr};
   std::size_t n_tx{0};
   std::uint64_t data_packets{0};
   std::uint64_t data_bytes{0};
@@ -143,9 +143,19 @@ FtcNode::~FtcNode() {
   registry_->remove_matching("node", std::to_string(id_));
 }
 
-void FtcNode::attach_data_path(net::Link* in, net::Link* out) {
+void FtcNode::attach_data_path(net::Port* in, net::Port* out) {
   in_link_.store(in);
   out_link_.store(out);
+}
+
+void FtcNode::set_ring_pred(net::NodeId pred) {
+  const net::NodeId old = ring_pred_id_.exchange(pred);
+  if (old == pred || old == 0) return;
+  // Rerouted to a different predecessor: the per-store NACK gap gate
+  // tracked requests to the OLD node. A stale timestamp here would
+  // silently swallow the first NACK the replacement needs to serve.
+  std::lock_guard lock(park_mutex_);
+  last_nack_ns_.clear();
 }
 
 void FtcNode::set_forwarder(Forwarder* fwd) {
@@ -253,7 +263,7 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
     }
   }
 
-  net::Link* in = in_link_.load(std::memory_order_acquire);
+  net::Port* in = in_link_.load(std::memory_order_acquire);
   if (in != nullptr) {
     pkt::Packet* rx[kMaxBurst];
     // Raise the in-flight token BEFORE popping: packets leave the link
@@ -665,7 +675,7 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
     if (account_cycles_) b.cyc_forward += rt::rdtsc() - tf0;
     return;
   }
-  net::Link* out = out_link_.load(std::memory_order_acquire);
+  net::Port* out = out_link_.load(std::memory_order_acquire);
   if (out == nullptr) {
     pool_.free_raw(p);
     return;
@@ -831,7 +841,7 @@ void FtcNode::emit(pkt::Packet* p, PiggybackMessage&& msg) {
     buffer_->submit(p, std::move(msg));
     return;
   }
-  net::Link* out = out_link_.load(std::memory_order_acquire);
+  net::Port* out = out_link_.load(std::memory_order_acquire);
   if (out == nullptr) {
     pool_.free_raw(p);
     return;
@@ -854,7 +864,7 @@ void FtcNode::emit(pkt::Packet* p, PiggybackMessage&& msg) {
   send_now(out, p);
 }
 
-void FtcNode::send_now(net::Link* out, pkt::Packet* p) {
+void FtcNode::send_now(net::Port* out, pkt::Packet* p) {
   if (out->send(p)) return;
   // Exclude backpressure waits from busy accounting: a full downstream
   // queue is the next stage's problem, not this stage's work.
@@ -871,7 +881,7 @@ void FtcNode::emit_propagating(PiggybackMessage&& msg) {
     buffer_->submit(p, std::move(msg));
     return;
   }
-  net::Link* out = out_link_.load(std::memory_order_acquire);
+  net::Port* out = out_link_.load(std::memory_order_acquire);
   if (out == nullptr || !append_message(*p, msg, cfg_.num_partitions)) {
     pool_.free_raw(p);
     return;
@@ -929,11 +939,22 @@ void FtcNode::drain_parked() {
 
 void FtcNode::check_parked_timeouts() {
   const std::uint64_t now = rt::now_ns();
+  // Adaptive parked-work timeout: when the ingress transport measures an
+  // RTO, track it (a NACK round trip rides the same path as the data), but
+  // clamp between the configured floor and the fixed legacy timeout as
+  // ceiling. Raw links expose no estimate and keep the fixed value.
+  std::uint64_t park_timeout = cfg_.retransmit_timeout_ns;
+  if (net::Port* in = in_link_.load(std::memory_order_acquire)) {
+    if (const std::uint64_t rto = in->rto_ns(); rto != 0) {
+      park_timeout = std::clamp(rto, cfg_.retransmit_timeout_floor_ns,
+                                cfg_.retransmit_timeout_ns);
+    }
+  }
   std::vector<MboxId> to_nack;
   {
     std::lock_guard lock(park_mutex_);
     for (const auto& w : parked_) {
-      if (now - w.parked_at_ns < cfg_.retransmit_timeout_ns) continue;
+      if (now - w.parked_at_ns < park_timeout) continue;
       if (w.next_log >= w.msg.logs.size()) continue;
       const MboxId blocked_on = w.msg.logs[w.next_log].mbox;
       auto& last = last_nack_ns_[blocked_on];

@@ -115,12 +115,16 @@ class FtcNode : rt::NonCopyable {
   ~FtcNode();
 
   // --- Wiring (done by the chain runtime / orchestrator). ---
-  void attach_data_path(net::Link* in, net::Link* out);
+  void attach_data_path(net::Port* in, net::Port* out);
   /// Makes this node the chain ingress. Also registers the head-ingress
   /// piggyback size histograms (the paper's Fig. 5 state-size axis).
   void set_forwarder(Forwarder* fwd);
   void set_buffer(EgressBuffer* buf) { buffer_ = buf; }
-  void set_ring_pred(net::NodeId pred) { ring_pred_id_.store(pred); }
+  /// Updates the ring predecessor (NACK target). A change clears the
+  /// per-store NACK throttle state: the gap gate must not carry over to a
+  /// freshly rerouted predecessor, or it would suppress the first
+  /// legitimate NACK to a replacement node.
+  void set_ring_pred(net::NodeId pred);
 
   /// Starts data workers and the control endpoint.
   void start();
@@ -151,6 +155,12 @@ class FtcNode : rt::NonCopyable {
   std::size_t parked_count() const {
     std::lock_guard lock(park_mutex_);
     return parked_.size();
+  }
+  /// Per-store NACK throttle entries currently held (tests assert a ring
+  /// predecessor change clears them; see set_ring_pred).
+  std::size_t nack_throttle_entries() const {
+    std::lock_guard lock(park_mutex_);
+    return last_nack_ns_.size();
   }
   /// Workers currently holding a polled burst (packets popped from the
   /// ingress link but not yet applied/forwarded). Those packets are in no
@@ -239,7 +249,7 @@ class FtcNode : rt::NonCopyable {
   void finish_work(Work&& work);
   void emit(pkt::Packet* p, PiggybackMessage&& msg);
   /// Immediate (non-staged) send with blocked-cycle accounting.
-  void send_now(net::Link* out, pkt::Packet* p);
+  void send_now(net::Port* out, pkt::Packet* p);
   void emit_propagating(PiggybackMessage&& msg);
   void drain_parked();
   void check_parked_timeouts();
@@ -262,8 +272,8 @@ class FtcNode : rt::NonCopyable {
   std::atomic<net::NodeId> ring_pred_id_{0};
 
   // Data path.
-  std::atomic<net::Link*> in_link_{nullptr};
-  std::atomic<net::Link*> out_link_{nullptr};
+  std::atomic<net::Port*> in_link_{nullptr};
+  std::atomic<net::Port*> out_link_{nullptr};
   Forwarder* forwarder_{nullptr};
   EgressBuffer* buffer_{nullptr};
 

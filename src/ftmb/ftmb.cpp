@@ -54,8 +54,8 @@ void FtmbMaster::maybe_snapshot_stall() {
 bool FtmbMaster::worker_body(std::uint32_t thread_id) {
   maybe_snapshot_stall();
 
-  net::Link* in = in_link_.load(std::memory_order_acquire);
-  net::Link* out = out_link_.load(std::memory_order_acquire);
+  net::Port* in = in_link_.load(std::memory_order_acquire);
+  net::Port* out = out_link_.load(std::memory_order_acquire);
   if (in == nullptr || out == nullptr) return false;
   pkt::Packet* p = in->poll();
   if (p == nullptr) return false;
@@ -122,7 +122,7 @@ bool FtmbLogger::worker_body() {
 
   // IL side: log the input (memcpy into the bounded replay ring), forward
   // to the master.
-  if (net::Link* in = from_chain_.load(std::memory_order_acquire)) {
+  if (net::Port* in = from_chain_.load(std::memory_order_acquire)) {
     if (pkt::Packet* p = in->poll()) {
       const std::uint64_t b0 = account_cycles_ ? rt::rdtsc() : 0;
       const std::size_t slot =
@@ -131,7 +131,7 @@ bool FtmbLogger::worker_body() {
       p->clone_into(input_log_[slot]);
       inputs_logged_.fetch_add(1, std::memory_order_relaxed);
       if (account_cycles_) record_il(rt::rdtsc() - b0);
-      net::Link* to_m = to_master_.load(std::memory_order_acquire);
+      net::Port* to_m = to_master_.load(std::memory_order_acquire);
       if (to_m == nullptr || !to_m->send_blocking(p)) pool_.free_raw(p);
       did_work = true;
     }
@@ -141,7 +141,7 @@ bool FtmbLogger::worker_body() {
   // before their data packet on the FIFO master link (first-attempt
   // delivery, per the paper's prototype assumption), so no hold is needed;
   // the per-PAL receive work is the modeled cost.
-  if (net::Link* from_m = from_master_.load(std::memory_order_acquire)) {
+  if (net::Port* from_m = from_master_.load(std::memory_order_acquire)) {
     if (pkt::Packet* p = from_m->poll()) {
       const std::uint64_t b0 = account_cycles_ ? rt::rdtsc() : 0;
       if (p->anno().is_control && p->anno().aux == kPalMarker) {
@@ -150,7 +150,7 @@ bool FtmbLogger::worker_body() {
         if (account_cycles_) record_ol(rt::rdtsc() - b0);
       } else {
         if (account_cycles_) record_ol(rt::rdtsc() - b0);
-        net::Link* out = to_chain_.load(std::memory_order_acquire);
+        net::Port* out = to_chain_.load(std::memory_order_acquire);
         if (out == nullptr || !out->send_blocking(p)) pool_.free_raw(p);
       }
       did_work = true;

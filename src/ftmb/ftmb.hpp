@@ -46,7 +46,7 @@ class FtmbMaster : rt::NonCopyable {
 
   /// @param in   Link from the IL.
   /// @param out  Link to the OL (carries data packets AND PAL packets).
-  void attach_data_path(net::Link* in, net::Link* out) {
+  void attach_data_path(net::Port* in, net::Port* out) {
     in_link_.store(in);
     out_link_.store(out);
   }
@@ -90,8 +90,8 @@ class FtmbMaster : rt::NonCopyable {
   state::TxnContext txn_ctx_;
   const bool snapshots_;
 
-  std::atomic<net::Link*> in_link_{nullptr};
-  std::atomic<net::Link*> out_link_{nullptr};
+  std::atomic<net::Port*> in_link_{nullptr};
+  std::atomic<net::Port*> out_link_{nullptr};
   std::vector<std::unique_ptr<rt::Worker>> workers_;
   rt::Meter meter_;
   std::atomic<std::uint64_t> pals_sent_{0};
@@ -122,8 +122,8 @@ class FtmbLogger : rt::NonCopyable {
   /// @param to_master   IL -> master.
   /// @param from_master Master -> OL (data + PALs).
   /// @param to_chain    OL -> downstream.
-  void attach(net::Link* from_chain, net::Link* to_master,
-              net::Link* from_master, net::Link* to_chain) {
+  void attach(net::Port* from_chain, net::Port* to_master,
+              net::Port* from_master, net::Port* to_chain) {
     from_chain_.store(from_chain);
     to_master_.store(to_master);
     from_master_.store(from_master);
@@ -169,10 +169,10 @@ class FtmbLogger : rt::NonCopyable {
   const ftc::ChainConfig& cfg_;
   pkt::PacketPool& pool_;
 
-  std::atomic<net::Link*> from_chain_{nullptr};
-  std::atomic<net::Link*> to_master_{nullptr};
-  std::atomic<net::Link*> from_master_{nullptr};
-  std::atomic<net::Link*> to_chain_{nullptr};
+  std::atomic<net::Port*> from_chain_{nullptr};
+  std::atomic<net::Port*> to_master_{nullptr};
+  std::atomic<net::Port*> from_master_{nullptr};
+  std::atomic<net::Port*> to_chain_{nullptr};
 
   std::vector<std::unique_ptr<rt::Worker>> workers_;
   std::atomic<std::uint64_t> pals_received_{0};

@@ -26,7 +26,8 @@ Link::Link(pkt::PacketPool& pool, LinkConfig cfg, obs::Registry* registry,
       cfg_(cfg),
       fast_path_(cfg.delay_ns == 0 && cfg.loss == 0.0 && cfg.reorder == 0.0),
       span_site_(span_site),
-      fast_queue_(cfg.capacity) {
+      fast_queue_(cfg.capacity),
+      delay_ns_(cfg.delay_ns) {
   if (registry == nullptr) {
     own_registry_ = std::make_unique<obs::Registry>();
     registry = own_registry_.get();
@@ -67,6 +68,9 @@ bool Link::send(pkt::Packet* p) {
   }
 
   if (lossy_drop()) {
+    // Wire drop: the link accepted the packet, so it counts as sent —
+    // after a drain, sent == delivered + dropped_loss holds on every path.
+    sent_->inc();
     dropped_loss_->inc();
     pool_.free_raw(p);
     if (trace_id != 0) {
@@ -75,10 +79,11 @@ bool Link::send(pkt::Packet* p) {
     return true;  // The sender cannot observe wire loss.
   }
 
-  std::uint64_t deliver_at = rt::now_ns() + cfg_.delay_ns;
+  std::uint64_t deliver_at =
+      rt::now_ns() + delay_ns_.load(std::memory_order_relaxed);
   if (cfg_.reorder > 0.0) {
     const std::uint64_t draw = rt::splitmix64(
-        loss_counter_.fetch_add(1, std::memory_order_relaxed) ^ ~cfg_.seed);
+        reorder_counter_.fetch_add(1, std::memory_order_relaxed) ^ ~cfg_.seed);
     if (static_cast<double>(draw >> 11) * 0x1.0p-53 < cfg_.reorder) {
       deliver_at += cfg_.reorder_extra_ns;
       if (trace_id != 0) {

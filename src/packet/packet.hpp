@@ -34,6 +34,8 @@ struct Annotations {
   std::uint16_t l4_offset{0};    ///< Offset of the TCP/UDP header.
   std::uint16_t payload_offset{0};
   std::uint32_t aux{0};          ///< Runtime scratch (e.g. FTMB PAL count).
+  std::uint32_t tseq{0};         ///< Reliable-transport sequence number,
+                                 ///< stamped per hop by net::ReliableChannel.
   bool is_control{false};        ///< Propagating/recovery packet, not user data.
 };
 

@@ -7,7 +7,7 @@
 
 namespace sfc::tgen {
 
-TrafficSource::TrafficSource(pkt::PacketPool& pool, net::Link& out,
+TrafficSource::TrafficSource(pkt::PacketPool& pool, net::Port& out,
                              Workload workload, double rate_pps,
                              obs::SpanCollector* spans)
     : pool_(pool),
@@ -89,7 +89,7 @@ bool TrafficSource::body() {
   return true;
 }
 
-TrafficSink::TrafficSink(pkt::PacketPool& pool, net::Link& in,
+TrafficSink::TrafficSink(pkt::PacketPool& pool, net::Port& in,
                          obs::SpanCollector* spans)
     : pool_(pool), in_(in), spans_(spans) {}
 
@@ -134,7 +134,7 @@ bool TrafficSink::body() {
   return true;
 }
 
-RunResult run_load(pkt::PacketPool& pool, net::Link& ingress, net::Link& egress,
+RunResult run_load(pkt::PacketPool& pool, net::Port& ingress, net::Port& egress,
                    const Workload& workload, double rate_pps,
                    double duration_s, double warmup_s,
                    obs::SpanCollector* spans,

@@ -61,7 +61,7 @@ class TrafficSource : rt::NonCopyable {
   /// @param rate_pps 0 = unlimited (pool back-pressure sets the pace).
   /// @param spans Span collector for sampled-packet tracing; pass null (or
   ///              leave workload.trace_sample at 0) to disable.
-  TrafficSource(pkt::PacketPool& pool, net::Link& out, Workload workload,
+  TrafficSource(pkt::PacketPool& pool, net::Port& out, Workload workload,
                 double rate_pps = 0.0, obs::SpanCollector* spans = nullptr);
   ~TrafficSource() { stop(); }
 
@@ -76,7 +76,7 @@ class TrafficSource : rt::NonCopyable {
   bool body();
 
   pkt::PacketPool& pool_;
-  net::Link& out_;
+  net::Port& out_;
   const Workload workload_;
   rt::RateLimiter limiter_;
   const obs::SpanSampler sampler_;
@@ -92,7 +92,7 @@ class TrafficSource : rt::NonCopyable {
 
 class TrafficSink : rt::NonCopyable {
  public:
-  TrafficSink(pkt::PacketPool& pool, net::Link& in,
+  TrafficSink(pkt::PacketPool& pool, net::Port& in,
               obs::SpanCollector* spans = nullptr);
   ~TrafficSink() { stop(); }
 
@@ -117,7 +117,7 @@ class TrafficSink : rt::NonCopyable {
   bool body();
 
   pkt::PacketPool& pool_;
-  net::Link& in_;
+  net::Port& in_;
   obs::SpanCollector* spans_{nullptr};
   std::unique_ptr<rt::Worker> worker_;
   std::atomic<std::uint64_t> received_{0};
@@ -153,7 +153,7 @@ struct RunResult {
 /// @param on_measure_start Called once at the warmup/measurement boundary
 ///              (benches use it to reset registry counters and spans so the
 ///              report covers the measured window only).
-RunResult run_load(pkt::PacketPool& pool, net::Link& ingress, net::Link& egress,
+RunResult run_load(pkt::PacketPool& pool, net::Port& ingress, net::Port& egress,
                    const Workload& workload, double rate_pps,
                    double duration_s, double warmup_s = 0.2,
                    obs::SpanCollector* spans = nullptr,
