@@ -43,6 +43,7 @@ int main() {
       const obs::Labels point{{"system", mode_name(modes[mi])},
                               {"chain_len", std::to_string(lengths[li])}};
       report.metric("mean_latency_us", r.mean_latency_us(), point);
+      report.metric("ns_per_op", r.mean_latency_us() * 1e3, point);
       for (const auto& hop : hops) {
         obs::Labels labels = point;
         labels.emplace_back("pos", std::to_string(hop.position));

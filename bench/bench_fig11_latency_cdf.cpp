@@ -33,6 +33,8 @@ int main() {
     hists[mi] = r.latency;
     report.metric_hist("latency_ns", r.latency,
                        {{"system", mode_name(modes[mi])}});
+    report.metric("ns_per_op", r.latency.mean(),
+                  {{"system", mode_name(modes[mi])}});
     p50s[mi] = static_cast<double>(r.latency.p50()) / 1000.0;
     std::printf("%-14s %8.1f %8.1f %8.1f %8.1f %8.1f\n", mode_name(modes[mi]),
                 r.latency.min() / 1000.0, r.latency.p50() / 1000.0,

@@ -39,10 +39,10 @@ int main() {
       lats[i] = measure_latency(chain, w, 20'000.0).mean_latency_us();
       chain.stop();
     }
-    report.metric("pipeline_mpps", tputs[i],
-                  {{"replicas", std::to_string(factors[i])}});
-    report.metric("mean_latency_us", lats[i],
-                  {{"replicas", std::to_string(factors[i])}});
+    const obs::Labels point{{"replicas", std::to_string(factors[i])}};
+    report.metric("pipeline_mpps", tputs[i], point);
+    report.metric("ns_per_packet", mpps_to_ns(tputs[i]), point);
+    report.metric("mean_latency_us", lats[i], point);
     std::printf("%-8u %12.3f %16.1f\n", factors[i], tputs[i], lats[i]);
   }
 

@@ -115,6 +115,9 @@ bool run_reliable_sweep(obs::Report& report) {
       report.metric("sweep_rto_ns", static_cast<double>(rto_ns), labels);
       report.metric("sweep_rto_tracks_delay", rto_tracks ? 1.0 : 0.0,
                     labels);
+      // Sweep op = one delivered round trip; keeps ns_per_op present in
+      // sweep-only (CI) runs of this bench.
+      report.metric("ns_per_op", static_cast<double>(srtt_ns), labels);
       std::printf("%8.2f %10llu %10llu %10llu %10.1f %10.1f  %s\n", loss,
                   static_cast<unsigned long long>(delay_ns / 1000),
                   static_cast<unsigned long long>(sent),
@@ -233,6 +236,9 @@ int main() {
     report.metric("state_recovery_ms", r.state_recovery_ns / 1e6, site_labels);
     report.metric("rerouting_ms", r.rerouting_ns / 1e6, site_labels);
     report.metric("total_ms", r.total_ns / 1e6, site_labels);
+    // One recovery is the "op" of this bench: ns_per_op keys the schema-v2
+    // cost comparison the other benches express per packet.
+    report.metric("ns_per_op", static_cast<double>(r.total_ns), site_labels);
     std::printf("%-12s %16.1f %18.1f %14.3f %12.1f\n", site.name,
                 r.initialization_ns / 1e6, r.state_recovery_ns / 1e6,
                 r.rerouting_ns / 1e6, r.total_ns / 1e6);

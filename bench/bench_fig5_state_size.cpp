@@ -38,9 +38,10 @@ int main() {
       chain.stop();
       if (base_mpps == 0) base_mpps = r.delivered_mpps;
       rel.push_back(base_mpps > 0 ? r.delivered_mpps / base_mpps : 0);
-      report.metric("throughput_mpps", r.delivered_mpps,
-                    {{"pkt_bytes", std::to_string(pkt_size)},
-                     {"state_bytes", std::to_string(state_size)}});
+      const obs::Labels point{{"pkt_bytes", std::to_string(pkt_size)},
+                              {"state_bytes", std::to_string(state_size)}};
+      report.metric("throughput_mpps", r.delivered_mpps, point);
+      report.metric("ns_per_packet", mpps_to_ns(r.delivered_mpps), point);
       std::printf("  %6.3f", r.delivered_mpps);
     }
     std::printf("   rel:");

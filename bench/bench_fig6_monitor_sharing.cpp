@@ -36,9 +36,10 @@ int main() {
       w.num_flows = 256;
       const auto r = measure_pipeline_tput(chain, w);
       results[mi][si] = r.pipeline_mpps;
-      report.metric("pipeline_mpps", r.pipeline_mpps,
-                    {{"system", mode_name(modes[mi])},
-                     {"sharing", std::to_string(sharing_levels[si])}});
+      const obs::Labels point{{"system", mode_name(modes[mi])},
+                              {"sharing", std::to_string(sharing_levels[si])}};
+      report.metric("pipeline_mpps", r.pipeline_mpps, point);
+      report.metric("ns_per_packet", mpps_to_ns(r.pipeline_mpps), point);
       std::printf("  %7.3f", r.pipeline_mpps);
       std::fflush(stdout);
     }

@@ -34,9 +34,10 @@ int main() {
       w.num_flows = 512;  // Mostly fast-path (read-only) after warmup.
       const auto r = measure_pipeline_tput(chain, w);
       results[mi][ti] = r.pipeline_mpps;
-      report.metric("pipeline_mpps", r.pipeline_mpps,
-                    {{"system", mode_name(modes[mi])},
-                     {"threads", std::to_string(thread_counts[ti])}});
+      const obs::Labels point{{"system", mode_name(modes[mi])},
+                              {"threads", std::to_string(thread_counts[ti])}};
+      report.metric("pipeline_mpps", r.pipeline_mpps, point);
+      report.metric("ns_per_packet", mpps_to_ns(r.pipeline_mpps), point);
       std::printf("  %7.3f", r.pipeline_mpps);
       std::fflush(stdout);
     }

@@ -42,8 +42,10 @@ void run_subfigure(const Subfigure& sub, obs::Report& report) {
       chain.stop();
     }
     std::printf("%-14s %9.3f", mode_name(mode), max_pps * 1e-6);
-    report.metric("max_mpps", max_pps * 1e-6,
-                  {{"subfigure", sub.key}, {"system", mode_name(mode)}});
+    const obs::Labels mode_point{{"subfigure", sub.key},
+                                 {"system", mode_name(mode)}};
+    report.metric("max_mpps", max_pps * 1e-6, mode_point);
+    report.metric("ns_per_packet", mpps_to_ns(max_pps * 1e-6), mode_point);
     for (const double frac : fractions) {
       auto spec = base_spec(mode, {sub.mbox}, sub.threads);
       ChainRuntime chain(spec);

@@ -17,6 +17,10 @@ int main() {
                "FTC flat (8.28-8.92), FTMB ~half (4.80-4.83), "
                "FTMB+Snapshot 3.94->2.42 Mpps");
 
+  // CI budget-gate hook: skip the mode/length grid and burst sweep, run
+  // only the profiled Ch-3 FTC budget probe below.
+  const bool budget_only = std::getenv("FTC_FIG9_BUDGET_ONLY") != nullptr;
+
   const std::size_t lengths[] = {2, 3, 4, 5};
   const ChainMode modes[] = {ChainMode::kNf, ChainMode::kFtc, ChainMode::kFtmb,
                              ChainMode::kFtmbSnapshot};
@@ -36,6 +40,8 @@ int main() {
   for (auto n : lengths) std::printf("   Ch-%zu ", n);
   std::printf("  (pipeline Mpps)\n");
 
+  bool ok = true;
+  if (!budget_only) {
   for (std::size_t mi = 0; mi < 4; ++mi) {
     std::printf("%-16s", mode_name(modes[mi]));
     for (std::size_t li = 0; li < 4; ++li) {
@@ -45,9 +51,10 @@ int main() {
       w.num_flows = 256;
       const auto r = measure_pipeline_tput(chain, w, 60'000.0);
       results[mi][li] = r.pipeline_mpps;
-      report.metric("pipeline_mpps", r.pipeline_mpps,
-                    {{"system", mode_name(modes[mi])},
-                     {"chain_len", std::to_string(lengths[li])}});
+      const obs::Labels point{{"system", mode_name(modes[mi])},
+                              {"chain_len", std::to_string(lengths[li])}};
+      report.metric("pipeline_mpps", r.pipeline_mpps, point);
+      report.metric("ns_per_packet", mpps_to_ns(r.pipeline_mpps), point);
       std::printf("  %6.3f", r.pipeline_mpps);
       std::fflush(stdout);
     }
@@ -78,14 +85,12 @@ int main() {
     w.burst = bursts[bi];
     const auto r = measure_pipeline_tput(chain, w, 200'000.0);
     burst_mpps[bi] = r.pipeline_mpps;
-    report.metric("timeshared_mpps", r.timeshared_mpps,
-                  {{"system", "FTC"},
-                   {"chain_len", "3"},
-                   {"burst", std::to_string(bursts[bi])}});
-    report.metric("pipeline_mpps", r.pipeline_mpps,
-                  {{"system", "FTC"},
-                   {"chain_len", "3"},
-                   {"burst", std::to_string(bursts[bi])}});
+    const obs::Labels point{{"system", "FTC"},
+                            {"chain_len", "3"},
+                            {"burst", std::to_string(bursts[bi])}};
+    report.metric("timeshared_mpps", r.timeshared_mpps, point);
+    report.metric("pipeline_mpps", r.pipeline_mpps, point);
+    report.metric("ns_per_packet", mpps_to_ns(r.pipeline_mpps), point);
     std::printf("  %6.3f", r.pipeline_mpps);
     std::fflush(stdout);
   }
@@ -105,8 +110,8 @@ int main() {
 
   report.metric("ftc_drop_ch2_to_ch5", ftc_drop);
   report.metric("snapshot_drop_ch2_to_ch5", snap_drop);
-  const bool ok = results[1][3] > results[3][3] &&  // FTC beats +Snapshot.
-                  snap_drop > ftc_drop + 0.10;      // Snapshot scales far worse.
+  ok = results[1][3] > results[3][3] &&  // FTC beats +Snapshot.
+       snap_drop > ftc_drop + 0.10;      // Snapshot scales far worse.
   std::printf("shape check (FTC nearly flat with chain length while "
               "FTMB+Snapshot collapses; FTC > FTMB+Snapshot at Ch-5): %s\n",
               ok ? "yes" : "NO");
@@ -118,6 +123,52 @@ int main() {
               "apply+replicate work exceeds the paper's 58+100 cycles "
               "(Table 2).\n"
               "See EXPERIMENTS.md for the full analysis.\n");
+  }  // !budget_only
+
+  // --- Live budget attribution probe (obs/prof). ------------------------
+  // Ch-3 FTC at the default burst (32), profiled over a paced steady
+  // window with quiet mode armed after warmup: the per-stage ns/packet
+  // table lands in this report (budget.* registry rows + headline
+  // metrics), and any steady-state slow path (allocation, contended lock,
+  // blocking-send retry) fails the probe. CI's budget-gate job runs this
+  // with FTC_FIG9_BUDGET_ONLY=1 and diffs budget_total_ns_per_packet
+  // against the committed baseline.
+  {
+    auto spec = base_spec(ChainMode::kFtc, ch_n(3, 1), threads);
+    spec.cfg.profile = true;
+    spec.cfg.quiet_assert = true;
+    ChainRuntime chain(spec);
+    tgen::Workload w;
+    w.num_flows = 256;
+    const auto r = measure_budget(chain, w, 100'000.0);
+    obs::HotProfiler* prof = chain.profiler();
+    const auto budget = prof->report();
+    std::printf("\n%s", obs::budget_to_text(budget).c_str());
+
+    double total_ns = 0.0;
+    for (const auto& row : budget.total.stages) {
+      if (obs::prof_stage_primary(row.stage)) total_ns += row.ns_per_packet;
+    }
+    const bool quiet_ok = prof->quiet_ok();
+    const obs::Labels point{{"system", "FTC"}, {"chain_len", "3"},
+                            {"probe", "budget"}};
+    report.metric("budget_total_ns_per_packet", total_ns, point);
+    report.metric("budget_reconciliation", budget.total.reconciliation,
+                  point);
+    report.metric("budget_quiet_ok", quiet_ok ? 1.0 : 0.0, point);
+    report.metric("ns_per_packet", mpps_to_ns(r.delivered_mpps), point);
+    report.add_snapshot(chain.registry(),
+                        obs::Labels{{"source", "registry"},
+                                    {"probe", "budget"}});
+    std::printf("budget probe: total=%.1f ns/pkt reconciliation=%.1f%% "
+                "quiet=%s\n",
+                total_ns, budget.total.reconciliation * 100.0,
+                quiet_ok ? "ok" : "VIOLATED");
+    if (budget_only) {
+      ok = quiet_ok && budget.total.reconciliation >= 0.9 && total_ns > 0;
+    }
+  }
+
   report.shape_check(ok);
   finish_report(report);
   return ok ? 0 : 1;

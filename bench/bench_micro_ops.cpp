@@ -300,10 +300,13 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
   obs::Report report("micro_ops");
+  report.meta("schema_version", std::uint64_t{2});  // = bench::kBenchSchemaVersion
   report.meta("harness", "google-benchmark");
   report.meta("burst", std::to_string(g_burst));
   for (const auto& [name, real_time_ns] : reporter.captured()) {
     report.metric("real_time_ns", real_time_ns, {{"benchmark", name}});
+    // Schema v2: every micro-benchmark iteration is one op.
+    report.metric("ns_per_op", real_time_ns, {{"benchmark", name}});
     // Per-packet view of the burst benchmark so runs at different burst
     // sizes are directly comparable (CI enforces burst-32 <= burst-1).
     if (name.rfind("BM_LinkBurstSendPoll", 0) == 0) {

@@ -140,6 +140,11 @@ int main() {
   report.metric("piggyback_cycles", piggyback_cycles);
   report.metric("forwarder_cycles", forwarder_cycles);
   report.metric("buffer_cycles", buffer_cycles);
+  const double total_cycles = processing_cycles + locking_cycles +
+                              piggyback_cycles + forwarder_cycles +
+                              buffer_cycles;
+  report.metric("ns_per_packet",
+                total_cycles * 1e9 / static_cast<double>(rt::tsc_hz()));
   report.shape_check(locking_ok && same_order);
   finish_report(report);
   return locking_ok && same_order ? 0 : 1;

@@ -29,6 +29,14 @@ using ftc::ChainMode;
 using ftc::ChainRuntime;
 using ftc::FtcNode;
 
+/// Version of the BENCH_*.json layout. Bump when metric names or meta
+/// keys change shape; CI validators key on it. v2 added schema_version
+/// itself, ns_per_packet/ns_per_op companions, and the budget.* rows.
+inline constexpr std::uint64_t kBenchSchemaVersion = 2;
+
+/// ns/packet companion of a rate in Mpps (0 when the rate is 0).
+inline double mpps_to_ns(double mpps) { return mpps > 0 ? 1e3 / mpps : 0.0; }
+
 /// Measurement window per data point. Override with FTC_BENCH_SECONDS.
 inline double point_seconds() {
   if (const char* env = std::getenv("FTC_BENCH_SECONDS")) {
@@ -214,11 +222,40 @@ inline TputResult measure_pipeline_tput(ChainRuntime& chain,
   return out;
 }
 
+/// Paced budget-attribution probe. The chain must have been built with
+/// cfg.profile (and usually cfg.quiet_assert) set. Runs a NON-saturating
+/// load — quiet mode asserts the absence of steady-state slow paths, and
+/// deliberate over-injection makes pool exhaustion ordinary backpressure,
+/// not a bug — arming quiet and zeroing the accumulators at the
+/// warmup/measure boundary so the budget covers the steady window only.
+/// Quiet stays armed through the measured window; read the verdict via
+/// chain.profiler()->quiet_ok() and the table via ->report().
+inline tgen::RunResult measure_budget(ChainRuntime& chain,
+                                      const tgen::Workload& workload,
+                                      double rate_pps) {
+  chain.start();
+  obs::HotProfiler* prof = chain.profiler();
+  const bool arm = chain.spec().cfg.quiet_assert;
+  const auto r = tgen::run_load(
+      chain.pool(), chain.ingress(), chain.egress(), workload, rate_pps,
+      point_seconds(), warmup_seconds(), nullptr, [&chain, prof, arm] {
+        chain.registry().reset_counters();
+        if (prof != nullptr) {
+          prof->reset();
+          if (arm) prof->arm_quiet();
+        }
+      });
+  if (prof != nullptr) prof->disarm_quiet();
+  chain.stop();
+  return r;
+}
+
 /// Machine-readable result file seeded with the run parameters every
 /// bench shares. Callers add their headline metrics + shape check, then
 /// call finish_report().
 inline obs::Report make_report(const char* name) {
   obs::Report report(name);
+  report.meta("schema_version", kBenchSchemaVersion);
   report.meta("point_seconds", point_seconds());
   report.meta("warmup_seconds", warmup_seconds());
   return report;

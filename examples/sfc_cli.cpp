@@ -20,6 +20,7 @@
 #include "mbox/firewall.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/prof.hpp"
 #include "obs/span.hpp"
 #include "mbox/gen.hpp"
 #include "mbox/load_balancer.hpp"
@@ -60,6 +61,9 @@ struct Options {
   bool trace{false};
   std::uint64_t trace_sample{64};
   std::string trace_out{"trace.json"};
+  bool budget{false};
+  bool quiet_assert{false};
+  double warmup_s{0.25};
 };
 
 void usage() {
@@ -96,7 +100,15 @@ void usage() {
       "  trace | --trace     sample packets through the chain and write a\n"
       "                      Chrome trace-event JSON (load in Perfetto)\n"
       "  --trace-sample N    trace every ~Nth packet (default 64, 1 = all)\n"
-      "  --trace-out FILE    trace output path (default trace.json)");
+      "  --trace-out FILE    trace output path (default trace.json)\n"
+      "  budget | --budget   enable the hot-path budget profiler and print\n"
+      "                      the per-stage ns/packet table after the run\n"
+      "  --quiet-assert      arm steady-state quiet mode after warmup: any\n"
+      "                      data-path allocation failure, contended lock, or\n"
+      "                      send/free retry fails the run with a budget +\n"
+      "                      span flight-recorder dump (implies budget)\n"
+      "  --warmup SEC        warmup before the budget window starts and\n"
+      "                      quiet mode arms (default 0.25)");
 }
 
 ftc::FtcNode::MboxFactory parse_mbox(const std::string& spec, bool& ok) {
@@ -275,6 +287,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (v == nullptr) return false;
       opt.trace_out = v;
       opt.trace = true;
+    } else if (arg == "budget" || arg == "--budget") {
+      opt.budget = true;
+    } else if (arg == "--quiet-assert") {
+      opt.quiet_assert = true;
+      opt.budget = true;
+    } else if (arg == "--warmup") {
+      const char* v = next("--warmup");
+      if (v == nullptr) return false;
+      opt.warmup_s = std::atof(v);
+      if (opt.warmup_s < 0) opt.warmup_s = 0;
     } else {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       usage();
@@ -309,6 +331,8 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(opt.rel_rto_max_us * 1e3);
   }
   spec.cfg.reliable.congestion_avoidance = opt.rel_congestion;
+  spec.cfg.profile = opt.budget;
+  spec.cfg.quiet_assert = opt.quiet_assert;
   for (const auto& name : opt.chain) {
     bool ok = false;
     auto factory = parse_mbox(name, ok);
@@ -330,7 +354,9 @@ int main(int argc, char** argv) {
 
   // Span tracing: sampled packets leave one record per chain event, and
   // the stats output derives its per-hop quantiles from the same records.
-  const bool spans_on = opt.trace || opt.stats;
+  // Quiet mode keeps the collector running as a flight recorder so a
+  // violation can dump the events leading up to it.
+  const bool spans_on = opt.trace || opt.stats || opt.quiet_assert;
   std::unique_ptr<obs::SpanCollector> spans;
   if (spans_on) spans = std::make_unique<obs::SpanCollector>(&chain.registry());
 
@@ -383,10 +409,25 @@ int main(int argc, char** argv) {
 
   const auto t0 = rt::now_ns();
   bool failed_yet = false;
+  bool measuring = false;
+  obs::HotProfiler* prof = chain.profiler();
   std::uint64_t next_stats_ns =
       rt::now_ns() + static_cast<std::uint64_t>(opt.stats_interval_s * 1e9);
   while (rt::now_ns() - t0 < static_cast<std::uint64_t>(opt.duration_s * 1e9)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (!measuring &&
+        rt::now_ns() - t0 >= static_cast<std::uint64_t>(opt.warmup_s * 1e9)) {
+      // Warmup/measure boundary: the budget window starts clean, and the
+      // steady-state invariants become hard assertions from here on.
+      measuring = true;
+      if (prof != nullptr) {
+        prof->reset();
+        if (opt.quiet_assert) {
+          prof->arm_quiet();
+          std::printf("[%.2fs] quiet mode armed\n", (rt::now_ns() - t0) / 1e9);
+        }
+      }
+    }
     if (opt.stats && rt::now_ns() >= next_stats_ns) {
       next_stats_ns += static_cast<std::uint64_t>(opt.stats_interval_s * 1e9);
       std::printf("--- stats @ %.2fs ---\n%s", (rt::now_ns() - t0) / 1e9,
@@ -403,6 +444,9 @@ int main(int argc, char** argv) {
   }
   source.stop();
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // The quiet window ends with the offered load: teardown churn (worker
+  // joins, pool drain) is not steady-state behaviour.
+  if (prof != nullptr) prof->disarm_quiet();
 
   std::printf("sent:      %llu packets\n",
               static_cast<unsigned long long>(source.packets_sent()));
@@ -438,8 +482,9 @@ int main(int argc, char** argv) {
   sink.stop();
   orchestrator.stop();
   chain.stop();
+  std::vector<obs::SpanRecord> records;
+  if (spans) records = spans->snapshot();
   if (spans) {
-    const auto records = spans->snapshot();
     const auto hops = obs::per_hop_breakdown(records);
     if (!hops.empty()) {
       std::printf("--- per-hop latency (sampled spans) ---\n");
@@ -478,6 +523,39 @@ int main(int argc, char** argv) {
   if (opt.stats) {
     std::printf("--- final registry snapshot ---\n%s",
                 obs::to_text(chain.registry()).c_str());
+  }
+  if (prof != nullptr && opt.budget) {
+    std::printf("--- hot-path budget (post-warmup window) ---\n%s",
+                obs::budget_to_text(prof->report()).c_str());
+  }
+  if (opt.quiet_assert) {
+    if (prof == nullptr || !prof->quiet_ok()) {
+      std::printf("quiet-assert: FAILED (%llu violations)\n",
+                  static_cast<unsigned long long>(
+                      prof == nullptr ? 0 : prof->quiet_violation_count()));
+      // Flight-recorder dump: the sampled span stream leading up to the
+      // violation, newest last, so the offending window is inspectable
+      // without a rerun.
+      const auto sites = chain.registry().span_site_names();
+      const std::size_t keep = 48;
+      const std::size_t first =
+          records.size() > keep ? records.size() - keep : 0;
+      std::printf("--- span flight recorder (last %zu of %zu records) ---\n",
+                  records.size() - first, records.size());
+      for (std::size_t i = first; i < records.size(); ++i) {
+        const auto& r = records[i];
+        const auto site = sites.find(r.site);
+        std::printf("  %14llu ns  trace=%016llx  %-16s %s a=%llu\n",
+                    static_cast<unsigned long long>(r.ts_ns),
+                    static_cast<unsigned long long>(r.trace_id),
+                    site != sites.end() ? site->second.c_str() : "?",
+                    obs::to_string(r.kind),
+                    static_cast<unsigned long long>(r.a));
+      }
+      return 2;
+    }
+    std::printf("quiet-assert: ok (steady state held after %.2fs warmup)\n",
+                opt.warmup_s);
   }
   return 0;
 }

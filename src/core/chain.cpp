@@ -13,6 +13,14 @@ ChainRuntime::ChainRuntime(Spec spec) : spec_(std::move(spec)) {
   // Chains shorter than f+1 are extended with pure replica positions
   // before the buffer (paper §5.1).
   ring_size_ = spec_.mode == ChainMode::kFtc ? std::max(n, spec_.cfg.f + 1) : n;
+  if (spec_.cfg.profile || spec_.cfg.quiet_assert) {
+    profiler_ = std::make_unique<obs::HotProfiler>();
+    // Process-global gate: if another chain already installed a profiler,
+    // this one stays dormant (its report stays empty) rather than mixing
+    // two chains' attributions.
+    install_hot_profiler(profiler_.get());
+    profiler_->export_metrics(registry_);
+  }
   pool_ = std::make_unique<pkt::PacketPool>(spec_.cfg.pool_packets);
   internal_pool_ = std::make_unique<pkt::PacketPool>(
       std::max<std::size_t>(2048, spec_.cfg.pool_packets / 4));
@@ -21,6 +29,12 @@ ChainRuntime::ChainRuntime(Spec spec) : spec_(std::move(spec)) {
   });
   registry_.gauge_fn("pool.free_retries", {{"pool", "internal"}}, [this] {
     return static_cast<double>(internal_pool_->free_retries());
+  });
+  registry_.gauge_fn("pool.alloc_failures", {{"pool", "data"}}, [this] {
+    return static_cast<double>(pool_->alloc_failures());
+  });
+  registry_.gauge_fn("pool.alloc_failures", {{"pool", "internal"}}, [this] {
+    return static_cast<double>(internal_pool_->alloc_failures());
   });
 
   switch (spec_.mode) {
@@ -72,7 +86,7 @@ void ChainRuntime::build_ftc() {
     return static_cast<double>(feedback_->pending_approx());
   });
 
-  ftc_at_.resize(ring_size_, nullptr);
+  ftc_at_ = std::vector<std::atomic<FtcNode*>>(ring_size_);
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
     FtcNode::Params params;
     params.id = next_node_id_++;
@@ -89,11 +103,13 @@ void ChainRuntime::build_ftc() {
                            i + 1 < ring_size_ ? links_[i + 1].get() : nullptr);
     if (i == 0) node->set_forwarder(forwarder_.get());
     if (i == ring_size_ - 1) node->set_buffer(buffer_.get());
-    ftc_at_[i] = node.get();
+    ftc_at_[i].store(node.get(), std::memory_order_release);
     ftc_nodes_.push_back(std::move(node));
   }
   for (std::uint32_t i = 0; i < ring_size_; ++i) {
-    ftc_at_[i]->set_ring_pred(ftc_at_[(i + ring_size_ - 1) % ring_size_]->id());
+    FtcNode* pred =
+        ftc_at_[(i + ring_size_ - 1) % ring_size_].load(std::memory_order_relaxed);
+    ftc_at_[i].load(std::memory_order_relaxed)->set_ring_pred(pred->id());
   }
 }
 
@@ -156,6 +172,11 @@ void ChainRuntime::stop() {
   for (auto& node : nf_nodes_) node->stop();
   for (auto& node : ftmb_masters_) node->stop();
   for (auto& node : ftmb_loggers_) node->stop();
+  if (profiler_) {
+    // Re-export now that every worker thread has registered its slot, so
+    // a registry snapshot taken after stop() carries per-worker rows.
+    profiler_->export_metrics(registry_);
+  }
   started_ = false;
 }
 
@@ -172,7 +193,8 @@ bool ChainRuntime::quiescent() {
   }
   if (feedback_ && feedback_->pending_approx() != 0) return false;
   if (buffer_ && buffer_->held_count() != 0) return false;
-  for (FtcNode* node : ftc_at_) {
+  for (auto& slot : ftc_at_) {
+    FtcNode* node = slot.load(std::memory_order_acquire);
     if (node != nullptr && node->parked_count() != 0) return false;
     // A burst a worker has popped but not finished is in no link queue yet
     // still carries unapplied logs; checked after the links so a token
@@ -183,8 +205,10 @@ bool ChainRuntime::quiescent() {
 }
 
 void ChainRuntime::fail_position(std::uint32_t position) {
-  if (position < ftc_at_.size() && ftc_at_[position] != nullptr) {
-    ftc_at_[position]->fail();
+  if (position < ftc_at_.size()) {
+    if (FtcNode* node = ftc_at_[position].load(std::memory_order_acquire)) {
+      node->fail();
+    }
   }
 }
 
@@ -221,7 +245,7 @@ std::vector<std::pair<MboxId, net::NodeId>> ChainRuntime::recovery_sources(
   // prefix-or-equal of the head's by the log propagation invariant, and
   // stale in-flight logs are recognized as duplicates).
   const auto alive = [&](std::uint32_t pos) -> FtcNode* {
-    FtcNode* node = ftc_at_[pos];
+    FtcNode* node = ftc_at_[pos].load(std::memory_order_acquire);
     return node != nullptr && !node->has_failed() ? node : nullptr;
   };
 
@@ -267,7 +291,7 @@ void ChainRuntime::wire_replacement(std::uint32_t position, FtcNode* node) {
   // before the replacement attaches: if the detection was a false
   // positive (a healthy node silenced by scheduling delay), two consumers
   // on one link would split the flow across divergent stores.
-  if (FtcNode* old_node = ftc_at_[position]) {
+  if (FtcNode* old_node = ftc_at_[position].load(std::memory_order_acquire)) {
     if (!old_node->has_failed()) old_node->fail();
   }
   node->attach_data_path(links_[position].get(),
@@ -275,19 +299,23 @@ void ChainRuntime::wire_replacement(std::uint32_t position, FtcNode* node) {
                                                    : nullptr);
   if (position == 0) node->set_forwarder(forwarder_.get());
   if (position == ring_size_ - 1) node->set_buffer(buffer_.get());
-  node->set_ring_pred(ftc_at_[(position + ring_size_ - 1) % ring_size_]->id());
-  ftc_at_[position] = node;
+  node->set_ring_pred(ftc_at_[(position + ring_size_ - 1) % ring_size_]
+                          .load(std::memory_order_acquire)
+                          ->id());
+  ftc_at_[position].store(node, std::memory_order_release);
   // Refresh the successor's notion of its ring predecessor (NACK target).
   const std::uint32_t succ = (position + 1) % ring_size_;
-  ftc_at_[succ]->set_ring_pred(node->id());
+  ftc_at_[succ].load(std::memory_order_acquire)->set_ring_pred(node->id());
   node->start();
 }
 
 void ChainRuntime::set_position_region(std::uint32_t position,
                                        std::uint32_t region) {
   position_region_[position] = region;
-  if (position < ftc_at_.size() && ftc_at_[position] != nullptr) {
-    ctrl_.set_region(ftc_at_[position]->id(), region);
+  if (position < ftc_at_.size()) {
+    if (FtcNode* node = ftc_at_[position].load(std::memory_order_acquire)) {
+      ctrl_.set_region(node->id(), region);
+    }
   }
 }
 

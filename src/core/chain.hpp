@@ -24,6 +24,7 @@
 #include "core/node.hpp"
 #include "ftmb/ftmb.hpp"
 #include "net/control.hpp"
+#include "obs/prof.hpp"
 #include "obs/registry.hpp"
 
 namespace sfc::ftc {
@@ -64,6 +65,10 @@ class ChainRuntime : rt::NonCopyable {
   /// plane, the buffer, and the orchestrator register into this one.
   obs::Registry& registry() noexcept { return registry_; }
   const obs::Registry& registry() const noexcept { return registry_; }
+  /// The chain's hot-path budget profiler, or nullptr when neither
+  /// cfg.profile nor cfg.quiet_assert is set. Callers arm quiet mode after
+  /// warmup via profiler()->arm_quiet() and read budgets via report().
+  obs::HotProfiler* profiler() noexcept { return profiler_.get(); }
   const Spec& spec() const noexcept { return spec_; }
 
   std::uint32_t num_mboxes() const noexcept {
@@ -71,9 +76,13 @@ class ChainRuntime : rt::NonCopyable {
   }
   std::uint32_t ring_size() const noexcept { return ring_size_; }
 
-  /// Node currently serving a ring position (FTC mode).
+  /// Node currently serving a ring position (FTC mode). The slot is
+  /// atomic: the orchestrator's monitor thread swaps it on recovery
+  /// (wire_replacement) while tests and stats readers poll it.
   FtcNode* ftc_node(std::uint32_t position) noexcept {
-    return position < ftc_at_.size() ? ftc_at_[position] : nullptr;
+    return position < ftc_at_.size()
+               ? ftc_at_[position].load(std::memory_order_acquire)
+               : nullptr;
   }
   NfNode* nf_node(std::uint32_t position) noexcept {
     return position < nf_nodes_.size() ? nf_nodes_[position].get() : nullptr;
@@ -129,6 +138,11 @@ class ChainRuntime : rt::NonCopyable {
 
   Spec spec_;
   std::uint32_t ring_size_{0};
+  // Declared before the registry: export_metrics installs gauge_fn
+  // callbacks that dereference the profiler at snapshot time, so the
+  // registry (destroyed first, reverse declaration order) must die before
+  // the profiler does.
+  std::unique_ptr<obs::HotProfiler> profiler_;
   std::unique_ptr<pkt::PacketPool> pool_;
   std::unique_ptr<pkt::PacketPool> internal_pool_;
   // Declared before every component that registers into it (and therefore
@@ -147,7 +161,7 @@ class ChainRuntime : rt::NonCopyable {
 
   // FTC mode.
   std::vector<std::unique_ptr<FtcNode>> ftc_nodes_;  // All ever created.
-  std::vector<FtcNode*> ftc_at_;                     // Current per position.
+  std::vector<std::atomic<FtcNode*>> ftc_at_;        // Current per position.
   std::unique_ptr<FeedbackChannel> feedback_;
   std::unique_ptr<Forwarder> forwarder_;
   std::unique_ptr<EgressBuffer> buffer_;

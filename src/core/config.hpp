@@ -107,6 +107,20 @@ struct ChainConfig {
   /// FTMB snapshot simulation (paper §7.4: 6 ms stall every 50 ms).
   std::uint64_t snapshot_interval_ns{50'000'000};
   std::uint64_t snapshot_stall_ns{6'000'000};
+
+  /// Install the hot-path budget profiler (obs/prof) for this chain: every
+  /// worker attributes per-packet cycles to pipeline stages and the chain
+  /// exports a table2-style live budget through the registry. Off by
+  /// default; the disabled data path pays one load + branch per
+  /// instrumentation point.
+  bool profile{false};
+
+  /// Quiet mode: the profiler is installed and, once armed (after warmup,
+  /// via HotProfiler::arm_quiet), any data-path allocation failure, pool
+  /// free-retry, contended partition-lock or applier-mutex acquisition, or
+  /// blocking-send retry is recorded as a steady-state violation. Implies
+  /// `profile`.
+  bool quiet_assert{false};
 };
 
 }  // namespace sfc::ftc

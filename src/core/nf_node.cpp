@@ -1,6 +1,7 @@
 #include "core/nf_node.hpp"
 
 #include "core/piggyback.hpp"
+#include "obs/prof.hpp"
 #include "packet/packet_io.hpp"
 #include "runtime/clock.hpp"
 
@@ -31,8 +32,20 @@ bool NfNode::worker_body(std::uint32_t thread_id) {
   net::Port* in = in_link_.load(std::memory_order_acquire);
   if (in == nullptr) return false;
   pkt::Packet* rx[kMaxBurst];
+  // Budget profiler gate (obs/prof): one load + branch when disabled.
+  obs::ProfSlot* slot = nullptr;
+  if (obs::HotProfiler* hp = obs::hot_profiler(); SFC_UNLIKELY(hp != nullptr)) {
+    slot = hp->maybe_slot();
+    if (slot == nullptr) {
+      slot = hp->thread_slot("nf-node-" + std::to_string(position_) + "-t" +
+                             std::to_string(thread_id));
+    }
+  }
+  const std::uint64_t pp0 = slot != nullptr ? rt::rdtsc() : 0;
   const std::size_t got = in->poll_burst(rx, burst_size_);
   if (got == 0) return false;
+  const std::uint64_t poll_end = slot != nullptr ? rt::rdtsc() : 0;
+  if (slot != nullptr) slot->add(obs::ProfStage::kPoll, poll_end - pp0, got);
   const std::uint64_t b0 = account_cycles_ ? rt::rdtsc() : 0;
 
   // Forwarded packets are staged and flushed with one send_burst; meter
@@ -56,14 +69,25 @@ bool NfNode::worker_body(std::uint32_t thread_id) {
     // backpressure in the flush below is excluded).
     record_busy((rt::rdtsc() - b0) / got, got);
   }
-  net::Port* out = out_link_.load(std::memory_order_acquire);
-  if (out == nullptr) {
-    for (std::size_t i = 0; i < n_tx; ++i) pool_.free_raw(tx[i]);
-    return true;
+  const std::uint64_t proc_end = slot != nullptr ? rt::rdtsc() : 0;
+  if (slot != nullptr) {
+    slot->add(obs::ProfStage::kProcess, proc_end - poll_end, got);
   }
-  const std::size_t sent = out->send_burst({tx, n_tx});
-  for (std::size_t i = sent; i < n_tx; ++i) {
-    if (!out->send_blocking(tx[i])) pool_.free_raw(tx[i]);
+  net::Port* out = out_link_.load(std::memory_order_acquire);
+  if (out != nullptr) {
+    const std::size_t sent = out->send_burst({tx, n_tx});
+    for (std::size_t i = sent; i < n_tx; ++i) {
+      if (!out->send_blocking(tx[i])) pool_.free_raw(tx[i]);
+    }
+  } else {
+    for (std::size_t i = 0; i < n_tx; ++i) pool_.free_raw(tx[i]);
+  }
+  if (slot != nullptr) {
+    const std::uint64_t end = rt::rdtsc();
+    slot->add(obs::ProfStage::kEgressFlush, end - proc_end, got);
+    slot->packets.fetch_add(got, std::memory_order_relaxed);
+    slot->bursts.fetch_add(1, std::memory_order_relaxed);
+    slot->wall_cycles.fetch_add(end - pp0, std::memory_order_relaxed);
   }
   return true;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/prof.hpp"
 #include "obs/span.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/logging.hpp"
@@ -45,7 +46,22 @@ struct BurstScope {
   std::uint64_t cyc_process{0};
   std::uint64_t cyc_piggyback{0};
   std::uint64_t cyc_forward{0};
+  // Budget profiler (obs/prof): the worker's slot while a profiled burst
+  // is open (null otherwise — one thread-local null check per stage when
+  // profiling is disabled), and the burst's per-stage cycle accumulators,
+  // flushed to the slot once per burst. `prof_mark` is the chained stage
+  // boundary: every bracket covers [prof_mark, now] and advances it, so
+  // the stages tile the burst window — glue between brackets lands in the
+  // next stage instead of going unattributed, and a nested bracket that
+  // advanced the mark automatically shrinks its enclosing one.
+  obs::ProfSlot* prof{nullptr};
+  std::uint64_t prof_mark{0};
+  std::uint64_t prof_cycles[obs::kProfStageCount]{};
   pkt::Packet* tx[sfc::ftc::kMaxBurst];
+
+  void prof_add(obs::ProfStage stage, std::uint64_t d) noexcept {
+    prof_cycles[static_cast<std::size_t>(stage)] += d;
+  }
 };
 thread_local BurstScope t_burst;
 
@@ -266,11 +282,23 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
   net::Port* in = in_link_.load(std::memory_order_acquire);
   if (in != nullptr) {
     pkt::Packet* rx[kMaxBurst];
+    // Budget profiler gate: one acquire load + branch when disabled. The
+    // slot lookup past the branch is a thread-local cache hit; the label
+    // string is built only on the first burst of each worker thread.
+    obs::ProfSlot* slot = nullptr;
+    if (obs::HotProfiler* hp = obs::hot_profiler(); SFC_UNLIKELY(hp != nullptr)) {
+      slot = hp->maybe_slot();
+      if (slot == nullptr) {
+        slot = hp->thread_slot("ftc-node-" + std::to_string(position_) +
+                               "-t" + std::to_string(thread_id));
+      }
+    }
     // Raise the in-flight token BEFORE popping: packets leave the link
     // queue here but are only applied/forwarded below, and quiescence
     // checks (ChainRuntime::quiescent) must never observe "links drained"
     // while a whole burst sits unapplied in this worker's hands.
     bursts_in_flight_.fetch_add(1);
+    const std::uint64_t pp0 = slot != nullptr ? rt::rdtsc() : 0;
     const std::size_t got = in->poll_burst(rx, burst_size_);
     if (got != 0) {
       // Open the per-thread burst scope: emits from this burst stage into
@@ -279,6 +307,12 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
       BurstScope& b = t_burst;
       b.owner = this;
       b.out = out_link_.load(std::memory_order_acquire);
+      b.prof = slot;
+      if (slot != nullptr) {
+        const std::uint64_t t = rt::rdtsc();
+        b.prof_add(obs::ProfStage::kPoll, t - pp0);
+        b.prof_mark = t;
+      }
       const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
       if (account_cycles_) t_blocked_cycles = 0;
       if (forwarder_ != nullptr) {
@@ -301,10 +335,23 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
           }
           vw[i].view = PiggybackView::open(*rx[i]);
         }
+        if (slot != nullptr) {
+          const std::uint64_t t = rt::rdtsc();
+          b.prof_add(obs::ProfStage::kViewWalk, t - b.prof_mark);
+          b.prof_mark = t;
+        }
         const std::uint64_t span_t0 = any_traced ? rt::now_ns() : 0;
+        const bool timed_apply = account_cycles_ || slot != nullptr;
         const std::uint64_t ta0 = account_cycles_ ? rt::rdtsc() : 0;
         apply_logs_burst(vw, got);
-        if (account_cycles_) b.cyc_piggyback += rt::rdtsc() - ta0;
+        if (timed_apply) {
+          const std::uint64_t now = rt::rdtsc();
+          if (account_cycles_) b.cyc_piggyback += now - ta0;
+          if (slot != nullptr) {
+            b.prof_add(obs::ProfStage::kLogApply, now - b.prof_mark);
+            b.prof_mark = now;
+          }
+        }
         // Traced packets report the burst apply as a per-packet share.
         const std::uint64_t apply_share_ns =
             any_traced ? (rt::now_ns() - span_t0) / got : 0;
@@ -316,10 +363,24 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
                        apply_share_ns);
           }
           process_view(rx[i], vw[i], thread_id);
-          drain_parked();
+          if (slot != nullptr) {
+            // Starts from the chained mark (process_view's exit), so the
+            // per-packet return glue bills here; a nested drain that
+            // advanced the mark has already claimed its own time.
+            drain_parked();
+            const std::uint64_t t = rt::rdtsc();
+            b.prof_add(obs::ProfStage::kParkDrain, t - b.prof_mark);
+            b.prof_mark = t;
+          } else {
+            drain_parked();
+          }
         }
       }
       b.owner = nullptr;
+      // The whole burst tail — egress flush, meter/counter flush, cycle
+      // accounting — bills to kEgressFlush: it opens at the chained mark
+      // (the last per-packet bracket's exit) and closes at the timestamp
+      // that ends the busy-wall window, so no per-burst glue goes missing.
       // Flush staged egress with one bulk send; stragglers block with
       // backpressure accounting, exactly like a per-packet send would.
       if (b.n_tx != 0) {
@@ -354,6 +415,27 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
         // throughput metric stays burst-invariant.
         record_busy((rt::rdtsc() - t0 - t_blocked_cycles) / got, got);
       }
+      if (slot != nullptr) {
+        // Busy wall ends here: the per-stage sums above must reconcile
+        // against it, so the flush itself stays outside the window.
+        const std::uint64_t wall_ts = rt::rdtsc();
+        b.prof_add(obs::ProfStage::kEgressFlush, wall_ts - b.prof_mark);
+        const std::uint64_t wall = wall_ts - pp0;
+        for (std::size_t s = 0; s < obs::kProfStageCount; ++s) {
+          if (b.prof_cycles[s] == 0) continue;
+          slot->cycles[s].fetch_add(b.prof_cycles[s],
+                                    std::memory_order_relaxed);
+          b.prof_cycles[s] = 0;
+        }
+        // Primary stages share the burst's packet count as their op count.
+        for (std::size_t s = 0; s < obs::kProfPrimaryStageCount; ++s) {
+          slot->ops[s].fetch_add(got, std::memory_order_relaxed);
+        }
+        slot->packets.fetch_add(got, std::memory_order_relaxed);
+        slot->bursts.fetch_add(1, std::memory_order_relaxed);
+        slot->wall_cycles.fetch_add(wall, std::memory_order_relaxed);
+        b.prof = nullptr;
+      }
       did_work = true;
     }
     bursts_in_flight_.fetch_sub(1);
@@ -371,6 +453,8 @@ void FtcNode::ingest_packet(pkt::Packet* p, std::uint32_t thread_id) {
   Work work;
   work.packet = p;
   work.thread_id = thread_id;
+  const bool prof_here = t_burst.prof != nullptr && t_burst.owner == this;
+  const bool timed = account_cycles_ || prof_here;
   const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
   if (forwarder_ != nullptr) {
     // Chain ingress: outside packets carry no message; attach pending
@@ -386,7 +470,14 @@ void FtcNode::ingest_packet(pkt::Packet* p, std::uint32_t thread_id) {
   } else if (auto msg = extract_message(*p)) {
     work.msg = std::move(*msg);
   }
-  if (account_cycles_) t_burst.cyc_piggyback += rt::rdtsc() - t0;
+  if (timed) {
+    const std::uint64_t now = rt::rdtsc();
+    if (account_cycles_) t_burst.cyc_piggyback += now - t0;
+    if (prof_here) {
+      t_burst.prof_add(obs::ProfStage::kViewWalk, now - t_burst.prof_mark);
+      t_burst.prof_mark = now;
+    }
+  }
   process_work(std::move(work));
 }
 
@@ -400,13 +491,22 @@ void FtcNode::process_work(Work&& work) {
   // after a successful apply, a held log may now fit; after a park, this
   // drain closes the race where the missing log landed between our offer
   // and the park insertion.
-  drain_parked();
+  if (t_burst.prof != nullptr && t_burst.owner == this) {
+    drain_parked();
+    const std::uint64_t t = rt::rdtsc();
+    t_burst.prof_add(obs::ProfStage::kParkDrain, t - t_burst.prof_mark);
+    t_burst.prof_mark = t;
+  } else {
+    drain_parked();
+  }
 }
 
 bool FtcNode::apply_logs(Work& work) {
   const bool traced =
       work.packet != nullptr && work.packet->anno().trace_id != 0;
   const std::uint64_t span_t0 = traced ? rt::now_ns() : 0;
+  const bool prof_here = t_burst.prof != nullptr && t_burst.owner == this;
+  const bool timed = account_cycles_ || prof_here;
   const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
   bool complete = true;
   for (; work.next_log < work.msg.logs.size(); ++work.next_log) {
@@ -437,12 +537,19 @@ bool FtcNode::apply_logs(Work& work) {
       stats_.logs_duplicate->inc();
     }
   }
-  if (account_cycles_) {
-    const std::uint64_t d = rt::rdtsc() - t0;
-    if (t_burst.owner == this) {
-      t_burst.cyc_piggyback += d;
-    } else {
-      cyc_piggyback_.fetch_add(d, std::memory_order_relaxed);
+  if (timed) {
+    const std::uint64_t now = rt::rdtsc();
+    if (account_cycles_) {
+      const std::uint64_t d = now - t0;
+      if (t_burst.owner == this) {
+        t_burst.cyc_piggyback += d;
+      } else {
+        cyc_piggyback_.fetch_add(d, std::memory_order_relaxed);
+      }
+    }
+    if (prof_here) {
+      t_burst.prof_add(obs::ProfStage::kLogApply, now - t_burst.prof_mark);
+      t_burst.prof_mark = now;
     }
   }
   if (traced && complete) {
@@ -524,6 +631,11 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
                            std::uint32_t thread_id) {
   BurstScope& b = t_burst;
   const std::uint64_t trace_id = p->anno().trace_id;
+  // Budget stage marks chain through b.prof_mark: each boundary timestamp
+  // closes one stage and opens the next — across function boundaries — so
+  // dispatch glue (parse, span/meter bookkeeping, call/return overhead)
+  // lands in an adjacent stage instead of silently eroding reconciliation.
+  const bool prof_here = b.prof != nullptr && b.owner == this;
   if (SFC_UNLIKELY(vw.held_at != kNoHeldLog)) {
     // A predecessor log is missing: leave the zero-copy path and continue
     // on the materializing park/drain machinery from the held log.
@@ -538,6 +650,7 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
   PiggybackView& v = vw.view;
 
   // --- Phase B: tail duty, pruning, commit stripping, in place. ---
+  const bool timed_b = account_cycles_ || prof_here;
   const std::uint64_t tb0 = account_cycles_ ? rt::rdtsc() : 0;
   if (InOrderApplier* a = tail_applier_) {
     if (v.ok() && v.log_count() != 0) {
@@ -566,7 +679,14 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
         work.thread_id = thread_id;
         if (auto msg = extract_message(*p)) work.msg = std::move(*msg);
         work.next_log = work.msg.logs.size();
-        if (account_cycles_) b.cyc_piggyback += rt::rdtsc() - tb0;
+        if (timed_b) {
+          const std::uint64_t now = rt::rdtsc();
+          if (account_cycles_) b.cyc_piggyback += now - tb0;
+          if (prof_here) {
+            b.prof_add(obs::ProfStage::kTailCommit, now - b.prof_mark);
+            b.prof_mark = now;
+          }
+        }
         finish_work(std::move(work));
         return;
       }
@@ -588,7 +708,14 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
       if (InOrderApplier* ca = applier(c.mbox)) ca->prune(c.max);
     }
   }
-  if (account_cycles_) b.cyc_piggyback += rt::rdtsc() - tb0;
+  if (timed_b) {
+    const std::uint64_t now = rt::rdtsc();
+    if (account_cycles_) b.cyc_piggyback += now - tb0;
+    if (prof_here) {
+      b.prof_add(obs::ProfStage::kTailCommit, now - b.prof_mark);
+      b.prof_mark = now;
+    }
+  }
 
   // --- Phase C: the packet transaction (paper §4.2). The tail stays on
   // the packet; parse_packet is told where the wire bytes end. ---
@@ -602,6 +729,7 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
       verdict = mbox::Verdict::kDrop;
     } else {
       const std::uint64_t span_t0 = trace_id != 0 ? rt::now_ns() : 0;
+      const bool timed_c = account_cycles_ || prof_here;
       const std::uint64_t t0 = account_cycles_ ? rt::rdtsc() : 0;
       mbox::ProcessContext pctx;
       pctx.thread_id = thread_id;
@@ -619,9 +747,18 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
         }
       }
       if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
-      if (account_cycles_) {
-        b.cyc_process += rt::rdtsc() - t0;
-        ++b.cyc_packets;
+      if (timed_c) {
+        const std::uint64_t now = rt::rdtsc();
+        if (account_cycles_) {
+          b.cyc_process += now - t0;
+          ++b.cyc_packets;
+        }
+        if (prof_here) {
+          // Chained from the Phase B boundary: parse + dispatch glue count
+          // as processing cost, not unattributed time.
+          b.prof_add(obs::ProfStage::kProcess, now - b.prof_mark);
+          b.prof_mark = now;
+        }
       }
       if (trace_id != 0) {
         span_event(registry_, obs::span_site_node(id_), trace_id,
@@ -651,7 +788,17 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
     if (!out.empty()) emit_propagating(std::move(out));
     return;
   }
+  const bool timed_d = account_cycles_ || prof_here;
   const std::uint64_t tf0 = account_cycles_ ? rt::rdtsc() : 0;
+  const auto flush_forward = [&]() {
+    if (!timed_d) return;
+    const std::uint64_t now = rt::rdtsc();
+    if (account_cycles_) b.cyc_forward += now - tf0;
+    if (prof_here) {
+      b.prof_add(obs::ProfStage::kAppend, now - b.prof_mark);
+      b.prof_mark = now;
+    }
+  };
   if (have_log) {
     if (!v.ok()) v = PiggybackView::create(*p, cfg_.num_partitions);
     if (!v.ok() || !v.append_log(new_log)) {
@@ -662,7 +809,7 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
       if (auto msg = extract_message(*p)) out = std::move(*msg);
       out.logs.push_back(std::move(new_log));
       emit(p, std::move(out));
-      if (account_cycles_) b.cyc_forward += rt::rdtsc() - tf0;
+      flush_forward();
       return;
     }
   }
@@ -672,7 +819,7 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
   }
   if (buffer_ != nullptr) {
     buffer_->submit_wire(p, v);
-    if (account_cycles_) b.cyc_forward += rt::rdtsc() - tf0;
+    flush_forward();
     return;
   }
   net::Port* out = out_link_.load(std::memory_order_acquire);
@@ -686,7 +833,7 @@ void FtcNode::process_view(pkt::Packet* p, ViewWork& vw,
   } else {
     send_now(out, p);
   }
-  if (account_cycles_) b.cyc_forward += rt::rdtsc() - tf0;
+  flush_forward();
 }
 
 void FtcNode::park(Work&& work) {
@@ -714,6 +861,11 @@ void FtcNode::finish_work(Work&& work) {
   const std::uint64_t trace_id = p->anno().trace_id;
 
   // --- Phase B: tail duty, pruning, commit stripping (paper §5.1). ---
+  const bool prof_here = t_burst.prof != nullptr && t_burst.owner == this;
+  const bool timed = account_cycles_ || prof_here;
+  // Chained budget marks through t_burst.prof_mark, same scheme as
+  // process_view: boundaries close one stage and open the next so glue
+  // between phases (and across the call) stays attributed.
   const std::uint64_t tb0 = account_cycles_ ? rt::rdtsc() : 0;
   if (InOrderApplier* a = tail_applier_) {
     const std::uint32_t tail_mbox = tail_mbox_;
@@ -745,12 +897,19 @@ void FtcNode::finish_work(Work&& work) {
     if (head_ != nullptr && c.mbox == position_) head_->prune(c.max);
     if (InOrderApplier* a = applier(c.mbox)) a->prune(c.max);
   }
-  if (account_cycles_) {
-    const std::uint64_t d = rt::rdtsc() - tb0;
-    if (t_burst.owner == this) {
-      t_burst.cyc_piggyback += d;
-    } else {
-      cyc_piggyback_.fetch_add(d, std::memory_order_relaxed);
+  if (timed) {
+    const std::uint64_t now = rt::rdtsc();
+    if (account_cycles_) {
+      const std::uint64_t d = now - tb0;
+      if (t_burst.owner == this) {
+        t_burst.cyc_piggyback += d;
+      } else {
+        cyc_piggyback_.fetch_add(d, std::memory_order_relaxed);
+      }
+    }
+    if (prof_here) {
+      t_burst.prof_add(obs::ProfStage::kTailCommit, now - t_burst.prof_mark);
+      t_burst.prof_mark = now;
     }
   }
 
@@ -779,14 +938,21 @@ void FtcNode::finish_work(Work&& work) {
         }
       }
       if (pctx.deferred_rewrite) pkt::rewrite_flow(*parsed, *pctx.deferred_rewrite);
-      if (account_cycles_) {
-        const std::uint64_t d = rt::rdtsc() - t0;
-        if (t_burst.owner == this) {
-          t_burst.cyc_process += d;
-          ++t_burst.cyc_packets;
-        } else {
-          cyc_process_.fetch_add(d, std::memory_order_relaxed);
-          cyc_packets_.fetch_add(1, std::memory_order_relaxed);
+      if (timed) {
+        const std::uint64_t now = rt::rdtsc();
+        if (account_cycles_) {
+          const std::uint64_t d = now - t0;
+          if (t_burst.owner == this) {
+            t_burst.cyc_process += d;
+            ++t_burst.cyc_packets;
+          } else {
+            cyc_process_.fetch_add(d, std::memory_order_relaxed);
+            cyc_packets_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (prof_here) {
+          t_burst.prof_add(obs::ProfStage::kProcess, now - t_burst.prof_mark);
+          t_burst.prof_mark = now;
         }
       }
       if (trace_id != 0) {
@@ -822,12 +988,19 @@ void FtcNode::finish_work(Work&& work) {
   }
   const std::uint64_t tf0 = account_cycles_ ? rt::rdtsc() : 0;
   emit(p, std::move(msg));
-  if (account_cycles_) {
-    const std::uint64_t d = rt::rdtsc() - tf0;
-    if (t_burst.owner == this) {
-      t_burst.cyc_forward += d;
-    } else {
-      cyc_forward_.fetch_add(d, std::memory_order_relaxed);
+  if (timed) {
+    const std::uint64_t now = rt::rdtsc();
+    if (account_cycles_) {
+      const std::uint64_t d = now - tf0;
+      if (t_burst.owner == this) {
+        t_burst.cyc_forward += d;
+      } else {
+        cyc_forward_.fetch_add(d, std::memory_order_relaxed);
+      }
+    }
+    if (prof_here) {
+      t_burst.prof_add(obs::ProfStage::kAppend, now - t_burst.prof_mark);
+      t_burst.prof_mark = now;
     }
   }
 }

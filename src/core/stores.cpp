@@ -1,10 +1,31 @@
 #include "core/stores.hpp"
 
 #include <cstring>
+#include <mutex>
+
+#include "obs/prof.hpp"
 
 namespace sfc::ftc {
 
 namespace {
+
+// Locks @p m, attributing contention to the applier MAX mutex when the
+// hot-path profiler is installed (a failed try_lock means another worker
+// held the mutex). One load + branch when disabled.
+std::unique_lock<std::mutex> lock_max_mutex(std::mutex& m) {
+  std::unique_lock lock(m, std::defer_lock);
+  if (SFC_UNLIKELY(obs::hot_profiler() != nullptr)) {
+    const bool uncontended = lock.try_lock();
+    if (!uncontended) {
+      obs::prof_count(obs::ProfCounter::kApplierMutexContended);
+      lock.lock();
+    }
+    obs::prof_count(obs::ProfCounter::kApplierMutexAcquire);
+  } else {
+    lock.lock();
+  }
+  return lock;
+}
 
 // Failover transfer blob: store contents, then the MAX / dependency
 // vector, then the retained log history. The format is shared by HeadStore
@@ -65,7 +86,7 @@ bool HeadStore::deserialize(std::span<const std::uint8_t> in) {
 
 InOrderApplier::Offer InOrderApplier::offer(const PiggybackLog& log) {
   {
-    std::lock_guard lock(mutex_);
+    auto lock = lock_max_mutex(mutex_);
     switch (classify(max_, log.dep)) {
       case LogFit::kDuplicate:
         return Offer::kDuplicate;
@@ -92,7 +113,7 @@ void InOrderApplier::offer_burst(std::span<const WireLog> logs,
   rt::SmallVector<state::WireUpdate, 16> updates;
   std::uint64_t n_applied = 0;
   {
-    std::lock_guard lock(mutex_);
+    auto lock = lock_max_mutex(mutex_);
     for (std::size_t i = 0; i < logs.size(); ++i) {
       switch (classify(max_, logs[i].dep)) {
         case LogFit::kDuplicate:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/prof.hpp"
 #include "obs/span.hpp"
 #include "runtime/clock.hpp"
 
@@ -112,6 +113,7 @@ bool Link::send_blocking(pkt::Packet* p, std::uint64_t timeout_ns) {
   for (unsigned backoff = 1; !send(p); backoff = std::min(backoff * 2, 1024u)) {
     if (rt::now_ns() > deadline) {
       send_retries_->add(retries);
+      obs::prof_count(obs::ProfCounter::kSendRetry, retries);
       return false;
     }
     ++retries;
@@ -124,12 +126,17 @@ bool Link::send_blocking(pkt::Packet* p, std::uint64_t timeout_ns) {
       std::this_thread::yield();
     }
   }
-  if (retries != 0) send_retries_->add(retries);
+  if (retries != 0) {
+    send_retries_->add(retries);
+    obs::prof_count(obs::ProfCounter::kSendRetry, retries);
+  }
   return true;
 }
 
 std::size_t Link::send_burst(std::span<pkt::Packet*> ps) {
   if (ps.empty()) return 0;
+  obs::ProfStageTimer pt{obs::prof_slot(), obs::ProfStage::kLinkSend,
+                         ps.size()};
   if (fast_path_) {
     // Ownership transfers at the push: the consumer may pop, free and
     // recycle a packet before this function returns, so trace ids must be
@@ -170,9 +177,18 @@ std::size_t Link::send_burst(std::span<pkt::Packet*> ps) {
 
 std::size_t Link::poll_burst(pkt::Packet** out, std::size_t max) {
   if (max == 0) return 0;
+  // Attribute only productive polls (n > 0): empty polls are idle spinning,
+  // not per-packet cost, and would swamp the link_poll budget row.
+  const std::uint64_t prof_t0 =
+      SFC_UNLIKELY(obs::hot_profiler() != nullptr) ? rt::rdtsc() : 0;
   if (fast_path_) {
     const std::size_t n = fast_queue_.try_pop_n(out, max);
     if (n == 0) return 0;
+    if (SFC_UNLIKELY(prof_t0 != 0)) {
+      if (auto* slot = obs::prof_slot()) {
+        slot->add(obs::ProfStage::kLinkPoll, rt::rdtsc() - prof_t0, n);
+      }
+    }
     delivered_->add(n);
     for (std::size_t i = 0; i < n; ++i) {
       if (SFC_UNLIKELY(out[i]->anno().trace_id != 0)) {
@@ -199,6 +215,11 @@ std::size_t Link::poll_burst(pkt::Packet** out, std::size_t max) {
     ++it;
   }
   if (n == 0) return 0;
+  if (SFC_UNLIKELY(prof_t0 != 0)) {
+    if (auto* slot = obs::prof_slot()) {
+      slot->add(obs::ProfStage::kLinkPoll, rt::rdtsc() - prof_t0, n);
+    }
+  }
   delivered_->add(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (out[i]->anno().trace_id != 0) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/prof.hpp"
 #include "runtime/clock.hpp"
 
 namespace sfc::net {
@@ -459,12 +460,24 @@ std::size_t ReliableChannel::send_burst_locked(std::span<pkt::Packet*> ps,
 
 std::size_t ReliableChannel::send_burst(std::span<pkt::Packet*> ps) {
   if (ps.empty()) return 0;
+  // Budget attribution: only accepted packets count as link_send ops
+  // (window-rejected attempts are backpressure, retried by the caller).
+  const std::uint64_t prof_t0 =
+      SFC_UNLIKELY(obs::hot_profiler() != nullptr) ? rt::rdtsc() : 0;
   const std::uint64_t now = rt::now_ns();
-  std::lock_guard lock(mutex_);
-  pump_locked(now);
-  const std::size_t n = send_burst_locked(ps, now);
+  std::size_t n = 0;
+  {
+    std::lock_guard lock(mutex_);
+    pump_locked(now);
+    n = send_burst_locked(ps, now);
+  }
   if (n != 0) {
     sent_->add(n);
+    if (SFC_UNLIKELY(prof_t0 != 0)) {
+      if (auto* slot = obs::prof_slot()) {
+        slot->add(obs::ProfStage::kLinkSend, rt::rdtsc() - prof_t0, n);
+      }
+    }
   } else {
     rejected_->inc();
   }
@@ -478,9 +491,14 @@ bool ReliableChannel::send(pkt::Packet* p) {
 
 bool ReliableChannel::send_blocking(pkt::Packet* p, std::uint64_t timeout_ns) {
   const std::uint64_t deadline = rt::now_ns() + timeout_ns;
+  std::uint64_t retries = 0;
   for (unsigned backoff = 1; !send(p);
        backoff = std::min(backoff * 2, 1024u)) {
-    if (rt::now_ns() > deadline) return false;
+    ++retries;
+    if (rt::now_ns() > deadline) {
+      obs::prof_count(obs::ProfCounter::kSendRetry, retries);
+      return false;
+    }
     // send() pumps acks/RTO under the hood, so spinning here makes
     // progress: the window reopens as soon as acks arrive.
     if (backoff <= 64) {
@@ -489,21 +507,34 @@ bool ReliableChannel::send_blocking(pkt::Packet* p, std::uint64_t timeout_ns) {
       std::this_thread::yield();
     }
   }
+  if (retries != 0) obs::prof_count(obs::ProfCounter::kSendRetry, retries);
   return true;
 }
 
 std::size_t ReliableChannel::poll_burst(pkt::Packet** out, std::size_t max) {
   if (max == 0) return 0;
+  // Attribute only productive polls, same policy as Link::poll_burst.
+  const std::uint64_t prof_t0 =
+      SFC_UNLIKELY(obs::hot_profiler() != nullptr) ? rt::rdtsc() : 0;
   const std::uint64_t now = rt::now_ns();
-  std::lock_guard lock(mutex_);
-  pump_locked(now);
-  drain_wire_locked(now);
   std::size_t n = 0;
-  while (n < max && !rx_ready_.empty()) {
-    out[n++] = rx_ready_.front();
-    rx_ready_.pop_front();
+  {
+    std::lock_guard lock(mutex_);
+    pump_locked(now);
+    drain_wire_locked(now);
+    while (n < max && !rx_ready_.empty()) {
+      out[n++] = rx_ready_.front();
+      rx_ready_.pop_front();
+    }
   }
-  if (n != 0) delivered_->add(n);
+  if (n != 0) {
+    delivered_->add(n);
+    if (SFC_UNLIKELY(prof_t0 != 0)) {
+      if (auto* slot = obs::prof_slot()) {
+        slot->add(obs::ProfStage::kLinkPoll, rt::rdtsc() - prof_t0, n);
+      }
+    }
+  }
   return n;
 }
 

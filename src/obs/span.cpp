@@ -15,7 +15,7 @@ std::atomic<std::uint64_t> g_collector_gen{1};
 
 struct LocalRef {
   std::uint64_t gen{0};
-  rt::SpscQueue<SpanRecord>* queue{nullptr};
+  SpanCollector::Ring* ring{nullptr};
 };
 thread_local std::vector<LocalRef> t_queues;
 
@@ -74,33 +74,58 @@ SpanCollector::~SpanCollector() {
   drainer_.reset();  // Joins the drainer before queues_ dies.
 }
 
-rt::SpscQueue<SpanRecord>* SpanCollector::local_queue() {
+SpanCollector::Ring* SpanCollector::local_ring() {
   for (const auto& ref : t_queues) {
-    if (ref.gen == gen_) return ref.queue;
+    if (ref.gen == gen_) return ref.ring;
   }
   std::lock_guard lock(register_mutex_);
-  auto& q = queues_.emplace_back(cfg_.thread_buffer_capacity);
-  t_queues.push_back({gen_, &q});
-  return &q;
+  // Label the ring by the owning worker so per-ring drop/occupancy gauges
+  // name the thread that produced them ("main" covers test/driver threads).
+  std::string owner{rt::current_worker_name()};
+  if (owner.empty()) owner = "main";
+  auto& ring = queues_.emplace_back(cfg_.thread_buffer_capacity,
+                                    std::move(owner));
+  if (registry_ != nullptr) {
+    const Labels labels{{"span", "collector"}, {"worker", ring.owner}};
+    registry_->gauge_fn("span.ring_dropped", labels, [&ring] {
+      return static_cast<double>(ring.drops.load(std::memory_order_relaxed));
+    });
+    registry_->gauge_fn("span.ring_high_water", labels, [&ring] {
+      return static_cast<double>(
+          ring.high_water.load(std::memory_order_relaxed));
+    });
+  }
+  t_queues.push_back({gen_, &ring});
+  return &ring;
 }
 
 void SpanCollector::record(const SpanRecord& r) noexcept {
-  if (!local_queue()->try_push(SpanRecord{r})) {
+  Ring* ring = local_ring();
+  if (!ring->queue.try_push(SpanRecord{r})) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    ring->drops.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Occupancy high-water: the producer is the only pusher, so reading
+  // size right after the push is an accurate producer-side occupancy.
+  const auto occ =
+      static_cast<std::uint64_t>(ring->queue.size_approx());
+  if (occ > ring->high_water.load(std::memory_order_relaxed)) {
+    ring->high_water.store(occ, std::memory_order_relaxed);
   }
 }
 
 std::size_t SpanCollector::drain() {
   std::lock_guard drain_lock(drain_mutex_);
-  std::vector<rt::SpscQueue<SpanRecord>*> queues;
+  std::vector<Ring*> queues;
   {
     std::lock_guard lock(register_mutex_);
     queues.reserve(queues_.size());
     for (auto& q : queues_) queues.push_back(&q);
   }
   std::size_t moved = 0;
-  for (auto* q : queues) {
-    while (auto r = q->try_pop()) {
+  for (auto* ring : queues) {
+    while (auto r = ring->queue.try_pop()) {
       ++moved;
       if (records_.size() < cfg_.max_records) {
         records_.push_back(*r);
@@ -135,6 +160,11 @@ void SpanCollector::clear() {
   records_.clear();
   collected_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  std::lock_guard reg_lock(register_mutex_);
+  for (auto& ring : queues_) {
+    ring.drops.store(0, std::memory_order_relaxed);
+    ring.high_water.store(0, std::memory_order_relaxed);
+  }
 }
 
 // --- Derived views. ------------------------------------------------------

@@ -152,8 +152,8 @@ class SpanCollector : rt::NonCopyable {
   ~SpanCollector();
 
   /// Records one span event. Thread-safe; lock-free after the calling
-  /// thread's first record. Drops (and counts) when the thread ring is
-  /// full or the central store hit max_records.
+  /// thread's first record. Drops (and counts, globally and per ring)
+  /// when the thread ring is full or the central store hit max_records.
   void record(const SpanRecord& r) noexcept;
 
   /// Pulls every thread ring into the central store. Returns the number
@@ -175,8 +175,21 @@ class SpanCollector : rt::NonCopyable {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// One producer thread's SPSC ring plus its health counters. Rings are
+  /// labeled by the owning worker's name (span.ring_dropped /
+  /// span.ring_high_water gauges) so a lossy ring points straight at the
+  /// thread that overran it.
+  struct Ring {
+    Ring(std::size_t capacity, std::string owner_name)
+        : queue(capacity), owner(std::move(owner_name)) {}
+    rt::SpscQueue<SpanRecord> queue;
+    std::string owner;
+    std::atomic<std::uint64_t> drops{0};
+    std::atomic<std::uint64_t> high_water{0};  ///< Max occupancy observed.
+  };
+
  private:
-  rt::SpscQueue<SpanRecord>* local_queue();
+  Ring* local_ring();
   bool tick();
 
   const std::uint64_t gen_;  ///< Unique per collector; keys thread caches.
@@ -184,7 +197,7 @@ class SpanCollector : rt::NonCopyable {
   Registry* registry_{nullptr};
 
   std::mutex register_mutex_;  ///< Guards queues_ growth.
-  std::deque<rt::SpscQueue<SpanRecord>> queues_;
+  std::deque<Ring> queues_;
 
   std::mutex drain_mutex_;  ///< Serializes the SPSC consumer side.
   std::vector<SpanRecord> records_;

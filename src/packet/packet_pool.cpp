@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/prof.hpp"
 #include "runtime/common.hpp"
 
 namespace sfc::pkt {
@@ -24,8 +25,13 @@ PacketPool::PacketPool(std::size_t capacity)
 PacketPool::~PacketPool() = default;
 
 Packet* PacketPool::alloc_raw() noexcept {
+  obs::ProfStageTimer pt{obs::prof_slot(), obs::ProfStage::kPoolAlloc};
   auto p = free_list_.try_pop();
-  if (!p) return nullptr;
+  if (SFC_UNLIKELY(!p)) {
+    alloc_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::prof_count(obs::ProfCounter::kPoolAllocFailure);
+    return nullptr;
+  }
   (*p)->reset();
   return *p;
 }
@@ -43,6 +49,7 @@ void PacketPool::free_raw(Packet* p) noexcept {
   // as Link::send_blocking): short cpu_relax bursts cover the common
   // one-republish race; past ~64 spins the core is better handed to the
   // thread holding up the slot.
+  obs::ProfStageTimer pt{obs::prof_slot(), obs::ProfStage::kPoolFree};
   std::uint64_t retries = 0;
   for (unsigned backoff = 1; !free_list_.try_push(std::move(p));
        backoff = std::min(backoff * 2, 1024u)) {
@@ -55,6 +62,7 @@ void PacketPool::free_raw(Packet* p) noexcept {
   }
   if (retries != 0) {
     free_retries_.fetch_add(retries, std::memory_order_relaxed);
+    obs::prof_count(obs::ProfCounter::kPoolFreeRetry, retries);
   }
 }
 

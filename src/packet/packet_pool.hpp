@@ -54,11 +54,20 @@ class PacketPool : rt::NonCopyable {
     return free_retries_.load(std::memory_order_relaxed);
   }
 
+  /// Total alloc_raw() calls that found the pool exhausted. Under a
+  /// saturating generator this is ordinary back-pressure; in a paced
+  /// steady-state window it means the data path allocated (exported as
+  /// `pool.alloc_failures`, a quiet-mode violation).
+  std::uint64_t alloc_failures() const noexcept {
+    return alloc_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   const std::size_t capacity_;
   std::unique_ptr<Packet[]> slab_;
   rt::MpmcQueue<Packet*> free_list_;
   std::atomic<std::uint64_t> free_retries_{0};
+  std::atomic<std::uint64_t> alloc_failures_{0};
 };
 
 }  // namespace sfc::pkt

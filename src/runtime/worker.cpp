@@ -4,6 +4,12 @@
 
 namespace sfc::rt {
 
+namespace {
+thread_local std::string t_worker_name;
+}
+
+std::string_view current_worker_name() noexcept { return t_worker_name; }
+
 void poll_loop(const std::atomic<bool>& stop, const std::function<bool()>& body) {
   unsigned idle_spins = 0;
   while (!stop.load(std::memory_order_acquire)) {
@@ -26,7 +32,8 @@ void Worker::start(std::string name, std::function<bool()> body) {
   stop();
   name_ = std::move(name);
   stop_flag_.store(false);
-  thread_ = std::thread([this, body = std::move(body)]() {
+  thread_ = std::thread([this, name = name_, body = std::move(body)]() mutable {
+    t_worker_name = std::move(name);
     poll_loop(stop_flag_, body);
   });
 }

@@ -9,11 +9,17 @@
 #include <atomic>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "runtime/common.hpp"
 
 namespace sfc::rt {
+
+/// Name of the Worker driving the calling thread, or "" on non-Worker
+/// threads (main, tests). Observability code uses it to label per-thread
+/// resources (span rings, budget profiler slots) by worker.
+std::string_view current_worker_name() noexcept;
 
 class Worker : NonCopyable {
  public:

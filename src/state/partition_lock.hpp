@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "obs/prof.hpp"
 #include "runtime/common.hpp"
 
 namespace sfc::state {
@@ -40,13 +41,30 @@ class alignas(rt::kCacheLineSize) PartitionLock {
   /// Returns false if @p self was wounded while waiting (the caller must
   /// abort; the lock was NOT acquired).
   bool lock(TxnSlot* self) noexcept {
+    bool saw_owner = false;
     for (unsigned spins = 0;; ++spins) {
       TxnSlot* expected = nullptr;
+      // Success is acq_rel: acquire pairs with unlock()'s release (lock
+      // semantics), release publishes `self` — a TLS-resident slot — so a
+      // contender that loses the CAS and dereferences the owner pointer on
+      // the wound path is ordered after the owner thread's initialization.
+      // Failure is acquire for exactly that dereference.
       if (owner_.compare_exchange_weak(expected, self,
-                                       std::memory_order_acquire,
-                                       std::memory_order_relaxed)) {
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        // Contention accounting (obs/prof): an acquisition is "contended"
+        // when a CAS attempt lost to a live owner (spurious weak-CAS
+        // failures do not count). One load + branch when no profiler is
+        // installed.
+        if (SFC_UNLIKELY(obs::hot_profiler() != nullptr)) {
+          obs::prof_count(obs::ProfCounter::kPartitionLockAcquire);
+          if (saw_owner) {
+            obs::prof_count(obs::ProfCounter::kPartitionLockContended);
+          }
+        }
         return true;
       }
+      if (expected != nullptr) saw_owner = true;
       if (expected != nullptr &&
           self->ts.load(std::memory_order_relaxed) <
               expected->ts.load(std::memory_order_relaxed)) {

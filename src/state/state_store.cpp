@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/prof.hpp"
+
 namespace sfc::state {
 
 namespace {
@@ -50,6 +52,7 @@ bool StateStore::erase_locked(Key key) noexcept {
 void StateStore::apply(std::span<const StateUpdate> updates) {
   // Collect the touched partition set, lock in index order (deadlock-free
   // against other appliers), apply, release.
+  obs::ProfStageTimer pt{obs::prof_slot(), obs::ProfStage::kStoreApply};
   std::uint64_t mask = 0;
   for (const auto& u : updates) mask |= 1ULL << partition_of(u.key);
 
@@ -70,6 +73,7 @@ void StateStore::apply(std::span<const StateUpdate> updates) {
 }
 
 void StateStore::apply_wire(std::span<const WireUpdate> updates) {
+  obs::ProfStageTimer pt{obs::prof_slot(), obs::ProfStage::kStoreApply};
   std::uint64_t mask = 0;
   for (const auto& u : updates) mask |= 1ULL << partition_of(u.key);
 
