@@ -1,0 +1,88 @@
+#include "base/lock_rank.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sfc::lockrank::detail {
+namespace {
+
+/// One held-lock record. POD so the thread_local needs no registration
+/// with the C++ runtime's TLS destructor machinery (locks may be taken
+/// during thread teardown, e.g. by logging in a detached worker's last
+/// gasp).
+struct Held {
+  const void* lock;
+  LockRank rank;
+  SameRank policy;
+  const char* name;
+};
+
+/// Deepest legal nesting in the tree today is ~5 (orch > registry >
+/// node > link > leaf plus partition fan-out); 64 leaves a wide margin
+/// for the 16-partition wound-wait fan-out.
+constexpr std::size_t kMaxHeld = 64;
+
+thread_local Held t_held[kMaxHeld];
+thread_local std::size_t t_depth = 0;
+
+[[noreturn]] void die(const char* fmt, const char* a, LockRank ra,
+                      const char* b, LockRank rb) noexcept {
+  std::fprintf(stderr, fmt, a, static_cast<unsigned>(ra), b,
+               static_cast<unsigned>(rb));
+  std::fprintf(stderr, "[lock-rank] held stack (outermost first):\n");
+  for (std::size_t i = 0; i < t_depth; ++i) {
+    std::fprintf(stderr, "[lock-rank]   #%zu \"%s\" (rank %u)\n", i,
+                 t_held[i].name, static_cast<unsigned>(t_held[i].rank));
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void check_acquire_impl(const void* lock, LockRank rank, const char* name,
+                        SameRank policy) noexcept {
+  for (std::size_t i = 0; i < t_depth; ++i) {
+    const Held& h = t_held[i];
+    if (h.lock == lock) {
+      die("[lock-rank] FATAL: recursive acquisition of \"%s\" (rank %u) "
+          "already held as \"%s\" (rank %u)\n",
+          name, rank, h.name, h.rank);
+    }
+    if (h.rank < rank ||
+        (h.rank == rank && (policy != SameRank::kWoundWait ||
+                            h.policy != SameRank::kWoundWait))) {
+      die("[lock-rank] FATAL: rank inversion acquiring \"%s\" (rank %u) "
+          "while holding \"%s\" (rank %u); locks must be taken in "
+          "strictly decreasing rank order\n",
+          name, rank, h.name, h.rank);
+    }
+  }
+}
+
+void note_held_impl(const void* lock, LockRank rank, const char* name,
+                    SameRank policy) noexcept {
+  if (t_depth < kMaxHeld) {
+    t_held[t_depth] = Held{lock, rank, policy, name};
+  }
+  ++t_depth;
+}
+
+void note_release_impl(const void* lock) noexcept {
+  // Search from the top: releases are almost always LIFO, but StateStore
+  // releases its partition set in index order, so tolerate any position.
+  const std::size_t tracked = t_depth < kMaxHeld ? t_depth : kMaxHeld;
+  for (std::size_t i = tracked; i-- > 0;) {
+    if (t_held[i].lock != lock) continue;
+    for (std::size_t j = i + 1; j < tracked; ++j) t_held[j - 1] = t_held[j];
+    --t_depth;
+    return;
+  }
+  // Not found: acquired past the overflow watermark, or a lock taken
+  // before checking was enabled. Drop the overflow count if any.
+  if (t_depth > kMaxHeld) --t_depth;
+}
+
+std::size_t held_depth_impl() noexcept { return t_depth; }
+
+}  // namespace sfc::lockrank::detail

@@ -1,0 +1,78 @@
+// Clang Thread Safety Analysis macros.
+//
+// These expand to the clang `capability` attribute family when compiling
+// with a clang that supports them (-Wthread-safety turns on the analysis)
+// and to nothing everywhere else, so GCC builds are unaffected. The
+// spelling follows the documented attribute names; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+//
+// Conventions used across src/:
+//  * every long-lived mutex is an sfc::Mutex (base/mutex.hpp) with a rank
+//    and a name; fields it protects carry SFC_GUARDED_BY(mutex_),
+//  * `*_locked()` helpers that assume the caller holds the lock carry
+//    SFC_REQUIRES(mutex_),
+//  * functions whose locking TSA cannot model (dynamic lock sets such as
+//    StateStore's per-partition array, hand-rolled CAS locks) carry
+//    SFC_NO_THREAD_SAFETY_ANALYSIS with a comment saying why.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SFC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SFC_THREAD_ANNOTATION
+#define SFC_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" in diagnostics).
+#define SFC_CAPABILITY(x) SFC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SFC_SCOPED_CAPABILITY SFC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is protected by the given capability.
+#define SFC_GUARDED_BY(x) SFC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the given capability.
+#define SFC_PT_GUARDED_BY(x) SFC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Documented acquisition order relative to other capabilities.
+#define SFC_ACQUIRED_BEFORE(...) \
+  SFC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SFC_ACQUIRED_AFTER(...) \
+  SFC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability (exclusively / shared).
+#define SFC_REQUIRES(...) \
+  SFC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SFC_REQUIRES_SHARED(...) \
+  SFC_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define SFC_ACQUIRE(...) SFC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SFC_ACQUIRE_SHARED(...) \
+  SFC_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SFC_RELEASE(...) SFC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SFC_RELEASE_SHARED(...) \
+  SFC_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SFC_RELEASE_GENERIC(...) \
+  SFC_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define SFC_TRY_ACQUIRE(...) \
+  SFC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock documentation).
+#define SFC_EXCLUDES(...) SFC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (no static proof needed).
+#define SFC_ASSERT_CAPABILITY(x) SFC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SFC_RETURN_CAPABILITY(x) SFC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turn the analysis off for one function. Every use must
+/// carry a comment explaining why TSA cannot model the locking.
+#define SFC_NO_THREAD_SAFETY_ANALYSIS \
+  SFC_THREAD_ANNOTATION(no_thread_safety_analysis)

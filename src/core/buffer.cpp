@@ -79,7 +79,7 @@ void EgressBuffer::flush_releases_locked() {
 }
 
 void EgressBuffer::absorb(std::span<const CommitVector> commits) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   for (const auto& c : commits) {
     auto [it, inserted] = known_commits_.try_emplace(c.mbox, c.max);
     if (!inserted) it->second.merge(c.max);
@@ -142,7 +142,7 @@ void EgressBuffer::submit_core(pkt::Packet* p, bool is_control,
                                std::uint64_t trace_id,
                                std::span<const CommitVector> commits,
                                std::vector<PendingLog>&& pending) {
-  std::unique_lock lock(mutex_);
+  LockGuard lock(mutex_);
   submitted_->inc();
 
   // Absorb the commit knowledge this packet carries.
@@ -196,7 +196,7 @@ void EgressBuffer::submit_core(pkt::Packet* p, bool is_control,
 }
 
 void EgressBuffer::release_eligible() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto it = held_.begin(); it != held_.end();) {
     if (is_covered(*it)) {
       release_locked(*it);

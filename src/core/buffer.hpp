@@ -10,10 +10,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "core/config.hpp"
 #include "core/forwarder.hpp"
 #include "core/piggyback.hpp"
@@ -61,7 +61,7 @@ class EgressBuffer : rt::NonCopyable {
   BufferStats stats() const;
 
   std::size_t held_count() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return held_.size();
   }
 
@@ -76,32 +76,34 @@ class EgressBuffer : rt::NonCopyable {
     std::vector<PendingLog> pending;
   };
 
-  bool is_covered(const Held& held) const;
+  bool is_covered(const Held& held) const SFC_REQUIRES(mutex_);
   /// Shared tail of submit()/submit_wire(): absorbs @p commits, holds or
   /// releases the (already bare) packet, runs the prefix/periodic release
   /// scans.
   void submit_core(pkt::Packet* p, bool is_control, std::uint64_t trace_id,
                    std::span<const CommitVector> commits,
-                   std::vector<PendingLog>&& pending);
+                   std::vector<PendingLog>&& pending) SFC_EXCLUDES(mutex_);
   /// Stages @p held's packet for release; flush_releases_locked() ships the
   /// whole batch with one bulk send (releases within a submit/scan coalesce).
-  void release_locked(Held& held);
-  void flush_releases_locked();
+  void release_locked(Held& held) SFC_REQUIRES(mutex_);
+  void flush_releases_locked() SFC_REQUIRES(mutex_);
 
   pkt::PacketPool& pool_;
   net::Port& egress_;
   FeedbackChannel& feedback_;
   obs::Registry* registry_{nullptr};  ///< Span sink lookup (never null).
 
-  mutable std::mutex mutex_;
-  std::deque<Held> held_;
-  std::unordered_map<MboxId, MaxVector> known_commits_;
-  std::uint64_t full_scans_{0};
+  /// Node-level rank: flush_releases_locked() drives the egress Link /
+  /// ReliableChannel (lower ranks) while this is held.
+  mutable Mutex mutex_{ranks::kNode, "ftc.egress_buffer"};
+  std::deque<Held> held_ SFC_GUARDED_BY(mutex_);
+  std::unordered_map<MboxId, MaxVector> known_commits_ SFC_GUARDED_BY(mutex_);
+  std::uint64_t full_scans_ SFC_GUARDED_BY(mutex_){0};
 
-  // Release staging (guarded by mutex_): packets released by the current
-  // submit/scan, shipped in order with one send_burst.
-  std::size_t n_stage_{0};
-  pkt::Packet* release_stage_[kMaxBurst];
+  // Release staging: packets released by the current submit/scan, shipped
+  // in order with one send_burst.
+  std::size_t n_stage_ SFC_GUARDED_BY(mutex_){0};
+  pkt::Packet* release_stage_[kMaxBurst] SFC_GUARDED_BY(mutex_);
 
   std::unique_ptr<obs::Registry> own_registry_;
   obs::Counter* submitted_;

@@ -8,9 +8,9 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "core/config.hpp"
 #include "mbox/middlebox.hpp"
 #include "net/link.hpp"
@@ -60,7 +60,7 @@ class NfNode : rt::NonCopyable {
   void enable_cycle_accounting(bool on) noexcept { account_cycles_ = on; }
   /// Productive cycles per packet (excludes downstream backpressure).
   double busy_cycles_per_packet() const {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     // Median: per-sample rdtsc spans include preemption by the other
     // simulated servers timesharing this host; outliers of milliseconds
     // would swamp a mean of sub-microsecond sections.
@@ -70,7 +70,7 @@ class NfNode : rt::NonCopyable {
   /// @param weight Packets covered by the (per-packet averaged) sample,
   ///               keeping the median packet-weighted under bursting.
   void record_busy(std::uint64_t cycles, std::uint64_t weight = 1) {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     busy_hist_.record_n(cycles, weight);
   }
 
@@ -98,8 +98,8 @@ class NfNode : rt::NonCopyable {
   std::atomic<std::uint64_t> drops_{0};
   std::size_t burst_size_{1};  ///< cfg.burst_size clamped to [1, kMaxBurst].
   bool account_cycles_{false};
-  mutable std::mutex busy_mutex_;
-  rt::Histogram busy_hist_;
+  mutable Mutex busy_mutex_{ranks::kLeaf, "nf.busy_hist"};
+  rt::Histogram busy_hist_ SFC_GUARDED_BY(busy_mutex_);
 };
 
 }  // namespace sfc::ftc

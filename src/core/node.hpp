@@ -19,9 +19,9 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "core/buffer.hpp"
 #include "core/config.hpp"
 #include "core/forwarder.hpp"
@@ -153,13 +153,13 @@ class FtcNode : rt::NonCopyable {
   InOrderApplier* applier(MboxId mbox) noexcept;
   NodeStats stats() const;
   std::size_t parked_count() const {
-    std::lock_guard lock(park_mutex_);
+    LockGuard lock(park_mutex_);
     return parked_.size();
   }
   /// Per-store NACK throttle entries currently held (tests assert a ring
   /// predecessor change clears them; see set_ring_pred).
   std::size_t nack_throttle_entries() const {
-    std::lock_guard lock(park_mutex_);
+    LockGuard lock(park_mutex_);
     return last_nack_ns_.size();
   }
   /// Workers currently holding a polled burst (packets popped from the
@@ -192,7 +192,7 @@ class FtcNode : rt::NonCopyable {
   /// timeshared host, the throughput a real one-server-per-stage
   /// deployment would reach is 1 / max over stages of this cost.
   double busy_cycles_per_packet() const {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     // Median: per-sample rdtsc spans include preemption by the other
     // simulated servers timesharing this host; outliers of milliseconds
     // would swamp a mean of sub-microsecond sections.
@@ -203,7 +203,7 @@ class FtcNode : rt::NonCopyable {
   ///               covers: a full burst contributes one sample per packet,
   ///               so the median is packet-weighted, not burst-weighted.
   void record_busy(std::uint64_t cycles, std::uint64_t weight = 1) {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     busy_hist_.record_n(cycles, weight);
   }
 
@@ -294,10 +294,12 @@ class FtcNode : rt::NonCopyable {
   // Tail duty: applied-count at the last commit-vector attach.
   std::atomic<std::uint64_t> last_commit_attach_{~0ULL};
 
-  // Parked packets awaiting missing piggyback logs.
-  mutable std::mutex park_mutex_;
-  std::vector<Work> parked_;
-  std::map<MboxId, std::uint64_t> last_nack_ns_;
+  // Parked packets awaiting missing piggyback logs. Node rank: held only
+  // for container manipulation, but the registry's snapshot callbacks take
+  // it (parked_count), so it must rank below obs.registry.
+  mutable Mutex park_mutex_{ranks::kNode, "node.park"};
+  std::vector<Work> parked_ SFC_GUARDED_BY(park_mutex_);
+  std::map<MboxId, std::uint64_t> last_nack_ns_ SFC_GUARDED_BY(park_mutex_);
 
   // Threads.
   std::vector<std::unique_ptr<rt::Worker>> workers_;
@@ -314,14 +316,14 @@ class FtcNode : rt::NonCopyable {
   NodeCounters stats_;
   obs::EventTrace* trace_{nullptr};
   bool account_cycles_{false};
-  mutable std::mutex busy_mutex_;
-  rt::Histogram busy_hist_;
+  mutable Mutex busy_mutex_{ranks::kLeaf, "node.busy_hist"};
+  rt::Histogram busy_hist_ SFC_GUARDED_BY(busy_mutex_);
   // Head-ingress piggyback size distributions (registered lazily by
   // set_forwarder; only the chain ingress records them).
   bool pb_hists_registered_{false};
-  mutable std::mutex pb_mutex_;
-  rt::Histogram pb_bytes_hist_;
-  rt::Histogram pb_logs_hist_;
+  mutable Mutex pb_mutex_{ranks::kLeaf, "node.pb_hist"};
+  rt::Histogram pb_bytes_hist_ SFC_GUARDED_BY(pb_mutex_);
+  rt::Histogram pb_logs_hist_ SFC_GUARDED_BY(pb_mutex_);
   std::atomic<std::uint64_t> cyc_packets_{0};
   std::atomic<std::uint64_t> cyc_process_{0};
   std::atomic<std::uint64_t> cyc_piggyback_{0};

@@ -1,7 +1,6 @@
 #include "core/stores.hpp"
 
 #include <cstring>
-#include <mutex>
 
 #include "obs/prof.hpp"
 
@@ -12,8 +11,11 @@ namespace {
 // Locks @p m, attributing contention to the applier MAX mutex when the
 // hot-path profiler is installed (a failed try_lock means another worker
 // held the mutex). One load + branch when disabled.
-std::unique_lock<std::mutex> lock_max_mutex(std::mutex& m) {
-  std::unique_lock lock(m, std::defer_lock);
+// TSA sees the returned scoped lock through the ACQUIRE annotation; the
+// body is excluded because the defer/try/lock dance is not expressible.
+UniqueLock lock_max_mutex(Mutex& m)
+    SFC_ACQUIRE(m) SFC_NO_THREAD_SAFETY_ANALYSIS {
+  UniqueLock lock(m, std::defer_lock);
   if (SFC_UNLIKELY(obs::hot_profiler() != nullptr)) {
     const bool uncontended = lock.try_lock();
     if (!uncontended) {
@@ -168,7 +170,7 @@ bool InOrderApplier::deserialize(std::span<const std::uint8_t> in) {
   std::vector<PiggybackLog> logs;
   if (!deserialize_logs(in, logs)) return false;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     max_ = restored;
   }
   for (const auto& log : logs) history_.record(log);

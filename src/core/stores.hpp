@@ -7,10 +7,10 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "core/config.hpp"
 #include "core/dep_vector.hpp"
 #include "core/piggyback.hpp"
@@ -26,20 +26,20 @@ class LogHistory {
   explicit LogHistory(std::size_t capacity) : capacity_(capacity) {}
 
   void record(const PiggybackLog& log) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     logs_.push_back(log);
     if (logs_.size() > capacity_) logs_.pop_front();
   }
 
   void record(PiggybackLog&& log) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     logs_.push_back(std::move(log));
     if (logs_.size() > capacity_) logs_.pop_front();
   }
 
   /// Drops every log covered by @p commit.
   void prune(const MaxVector& commit) {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     while (!logs_.empty() && commit.covers(logs_.front().dep)) {
       logs_.pop_front();
     }
@@ -47,7 +47,7 @@ class LogHistory {
 
   /// Logs not yet covered by @p from, in order (the retransmission body).
   std::vector<PiggybackLog> logs_after(const MaxVector& from) const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     std::vector<PiggybackLog> out;
     for (const auto& log : logs_) {
       if (!from.covers(log.dep)) out.push_back(log);
@@ -56,14 +56,14 @@ class LogHistory {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return logs_.size();
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<PiggybackLog> logs_;
+  mutable Mutex mutex_{ranks::kLeaf, "ftc.log_history"};
+  std::deque<PiggybackLog> logs_ SFC_GUARDED_BY(mutex_);
 };
 
 /// The head side of one middlebox's replication group (paper §4.1): the
@@ -148,7 +148,7 @@ class InOrderApplier : rt::NonCopyable {
   /// Current MAX vector (the tail's commit vector when this replica is the
   /// tail of its group).
   MaxVector max() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return max_;
   }
 
@@ -169,8 +169,10 @@ class InOrderApplier : rt::NonCopyable {
  private:
   MboxId mbox_;
   state::StateStore store_;
-  mutable std::mutex mutex_;
-  MaxVector max_{};
+  /// The MAX mutex (paper Fig. 3): held across classify/advance AND the
+  /// store partition apply, so it outranks the partition locks.
+  mutable Mutex mutex_{ranks::kApplier, "ftc.applier_max"};
+  MaxVector max_ SFC_GUARDED_BY(mutex_){};
   LogHistory history_;
   std::atomic<std::uint64_t> applied_{0};
 };

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "core/config.hpp"
 #include "mbox/middlebox.hpp"
 #include "net/link.hpp"
@@ -63,12 +64,12 @@ class FtmbMaster : rt::NonCopyable {
   /// excludes backpressure; snapshot stalls are reported separately as a
   /// duty-cycle loss via stall_ns_total()).
   double busy_cycles_per_packet() const {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     return busy_hist_.count() ? static_cast<double>(busy_hist_.p50()) : 0.0;
   }
 
   void record_busy(std::uint64_t cycles) {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     busy_hist_.record(cycles);
   }
 
@@ -97,8 +98,8 @@ class FtmbMaster : rt::NonCopyable {
   std::atomic<std::uint64_t> pals_sent_{0};
   std::atomic<std::uint64_t> drops_{0};
   bool account_cycles_{false};
-  mutable std::mutex busy_mutex_;
-  rt::Histogram busy_hist_;
+  mutable Mutex busy_mutex_{ranks::kLeaf, "ftmb.master_busy"};
+  rt::Histogram busy_hist_ SFC_GUARDED_BY(busy_mutex_);
 
   // Snapshot stall machinery: when due, one thread stalls everyone by
   // setting pause_until; all threads spin it out (a stop-the-world
@@ -142,7 +143,7 @@ class FtmbLogger : rt::NonCopyable {
   /// median plus the OL median scaled by OL events (data + PALs) per data
   /// packet.
   double busy_cycles_per_packet() const {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     const double il = il_hist_.count() ? static_cast<double>(il_hist_.p50()) : 0.0;
     const double ol = ol_hist_.count() ? static_cast<double>(ol_hist_.p50()) : 0.0;
     const double ol_per_data =
@@ -154,11 +155,11 @@ class FtmbLogger : rt::NonCopyable {
   }
 
   void record_il(std::uint64_t cycles) {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     il_hist_.record(cycles);
   }
   void record_ol(std::uint64_t cycles) {
-    std::lock_guard lock(busy_mutex_);
+    LockGuard lock(busy_mutex_);
     ol_hist_.record(cycles);
   }
 
@@ -178,9 +179,9 @@ class FtmbLogger : rt::NonCopyable {
   std::atomic<std::uint64_t> pals_received_{0};
   std::atomic<std::uint64_t> inputs_logged_{0};
   bool account_cycles_{false};
-  mutable std::mutex busy_mutex_;
-  rt::Histogram il_hist_;
-  rt::Histogram ol_hist_;
+  mutable Mutex busy_mutex_{ranks::kLeaf, "ftmb.logger_busy"};
+  rt::Histogram il_hist_ SFC_GUARDED_BY(busy_mutex_);
+  rt::Histogram ol_hist_ SFC_GUARDED_BY(busy_mutex_);
 
   // IL input log: bounded ring of packet copies (replay storage). The
   // memcpy is the modeled cost; the paper's IL similarly retains inputs

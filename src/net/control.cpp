@@ -19,34 +19,34 @@ ControlPlane::ControlPlane(obs::Registry* registry) {
 }
 
 void ControlPlane::register_node(NodeId node) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   inboxes_.try_emplace(node);
 }
 
 void ControlPlane::set_delay(NodeId a, NodeId b, std::uint64_t one_way_ns) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   pair_delay_ns_[pair_key(a, b)] = one_way_ns;
 }
 
 void ControlPlane::set_region(NodeId node, std::uint32_t region) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   regions_[node] = region;
 }
 
 void ControlPlane::set_inter_region_delay(std::uint64_t one_way_ns) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   inter_region_delay_ns_ = one_way_ns;
 }
 
 void ControlPlane::set_region_delay(std::uint32_t region_a,
                                     std::uint32_t region_b,
                                     std::uint64_t one_way_ns) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   region_pair_delay_ns_[pair_key(region_a, region_b)] = one_way_ns;
 }
 
 std::uint64_t ControlPlane::delay_between(NodeId a, NodeId b) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return delay_between_locked(a, b);
 }
 
@@ -70,7 +70,7 @@ std::uint64_t ControlPlane::delay_between_locked(NodeId a, NodeId b) const {
 }
 
 void ControlPlane::set_bandwidth_gbps(double gbps) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   ns_per_byte_ = gbps > 0.0 ? 8.0 / gbps : 0.0;
 }
 
@@ -78,7 +78,7 @@ void ControlPlane::send(Message msg) {
   // One critical section: delay lookup, bandwidth charge, and the sorted
   // insert must agree on a single view of the config, and two back-to-back
   // locks would let another sender interleave between them.
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const std::uint64_t deliver_at =
       rt::now_ns() + delay_between_locked(msg.from, msg.to) +
       static_cast<std::uint64_t>(ns_per_byte_ *
@@ -99,7 +99,7 @@ void ControlPlane::send(Message msg) {
 }
 
 std::optional<Message> ControlPlane::poll(NodeId node) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = inboxes_.find(node);
   if (it == inboxes_.end() || it->second.queue.empty()) return std::nullopt;
   auto& head = it->second.queue.front();
@@ -122,7 +122,7 @@ std::optional<Message> ControlPlane::wait_for(NodeId node, std::uint32_t type,
       // callers still see them (the old implementation pulled them into a
       // private stash and re-queued them stamped "now", reordering them
       // against later sends and hiding them from other consumers).
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       auto it = inboxes_.find(node);
       if (it != inboxes_.end()) {
         auto& q = it->second.queue;

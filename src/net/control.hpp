@@ -10,11 +10,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "obs/registry.hpp"
 #include "runtime/common.hpp"
 
@@ -91,15 +91,18 @@ class ControlPlane : rt::NonCopyable {
   }
 
   /// delay_between() body; caller holds mutex_.
-  std::uint64_t delay_between_locked(NodeId a, NodeId b) const;
+  std::uint64_t delay_between_locked(NodeId a, NodeId b) const
+      SFC_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<NodeId, Inbox> inboxes_;
-  std::unordered_map<std::uint64_t, std::uint64_t> pair_delay_ns_;
-  std::unordered_map<NodeId, std::uint32_t> regions_;
-  std::unordered_map<std::uint64_t, std::uint64_t> region_pair_delay_ns_;
-  std::uint64_t inter_region_delay_ns_{0};
-  double ns_per_byte_{0.0};
+  mutable Mutex mutex_{ranks::kControl, "net.control"};
+  std::unordered_map<NodeId, Inbox> inboxes_ SFC_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::uint64_t> pair_delay_ns_
+      SFC_GUARDED_BY(mutex_);
+  std::unordered_map<NodeId, std::uint32_t> regions_ SFC_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::uint64_t> region_pair_delay_ns_
+      SFC_GUARDED_BY(mutex_);
+  std::uint64_t inter_region_delay_ns_ SFC_GUARDED_BY(mutex_){0};
+  double ns_per_byte_ SFC_GUARDED_BY(mutex_){0.0};
 
   std::unique_ptr<obs::Registry> own_registry_;
   obs::Counter* msgs_sent_;

@@ -94,7 +94,7 @@ bool Link::send(pkt::Packet* p) {
     }
   }
 
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (timed_queue_.size() >= cfg_.capacity) {
     dropped_full_->inc();
     return false;
@@ -199,7 +199,7 @@ std::size_t Link::poll_burst(pkt::Packet** out, std::size_t max) {
     return n;
   }
 
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const std::uint64_t now = rt::now_ns();
   std::size_t n = 0;
   // Drain every currently deliverable packet (delivery semantics identical
@@ -242,7 +242,7 @@ pkt::Packet* Link::poll() {
     return *p;
   }
 
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const std::uint64_t now = rt::now_ns();
   // Deliver the first ready packet; reordered packets (larger deliver_at)
   // are skipped over, which is exactly the reordering a multi-path fabric
@@ -273,7 +273,7 @@ LinkStats Link::stats() const noexcept {
 
 bool Link::drained() const noexcept {
   if (fast_path_) return fast_queue_.size_approx() == 0;
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return timed_queue_.empty();
 }
 

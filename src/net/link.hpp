@@ -12,10 +12,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 
+#include "base/mutex.hpp"
 #include "obs/registry.hpp"
 #include "packet/packet_pool.hpp"
 #include "runtime/mpmc_queue.hpp"
@@ -157,8 +157,8 @@ class Link : public Port {
 
   rt::MpmcQueue<pkt::Packet*> fast_queue_;
 
-  mutable std::mutex mutex_;
-  std::deque<Timed> timed_queue_;
+  mutable Mutex mutex_{ranks::kLink, "net.link"};
+  std::deque<Timed> timed_queue_ SFC_GUARDED_BY(mutex_);
 
   // Loss and reorder decisions hash SEPARATE counters so the two streams
   // are statistically independent: with a shared counter, every loss draw

@@ -79,11 +79,11 @@ ReliableChannel::ReliableChannel(pkt::PacketPool& pool, LinkConfig link_cfg,
     return static_cast<double>(hot_.in_flight.load(std::memory_order_relaxed));
   });
   registry->histogram_fn("rel.tx_occupancy", labels, [this] {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return occupancy_hist_;
   });
   registry->histogram_fn("rel.rtt_sample_ns", labels, [this] {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return rtt_hist_;
   });
 }
@@ -93,7 +93,7 @@ ReliableChannel::~ReliableChannel() {
   // cells and may outlive us in the registry).
   registry_->remove_matching("link", name_);
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     for (TxSlot& slot : tx_slots_) {
       if (slot.copy != nullptr) stash_pool_->free_raw(slot.copy);
       slot.copy = nullptr;
@@ -118,7 +118,7 @@ ReliableChannel::~ReliableChannel() {
 
 void ReliableChannel::set_delay_ns(std::uint64_t delay_ns) noexcept {
   wire_->set_delay_ns(delay_ns);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   ack_delay_ns_ = delay_ns;
 }
 
@@ -151,7 +151,7 @@ LinkStats ReliableChannel::stats() const noexcept {
 
 bool ReliableChannel::drained() const noexcept {
   if (!wire_->drained()) return false;
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return ack_wire_.empty() && rx_ready_.empty() &&
          hot_.rx_buffered.load(std::memory_order_relaxed) == 0 &&
          hot_.snd_una.load(std::memory_order_relaxed) ==
@@ -467,7 +467,7 @@ std::size_t ReliableChannel::send_burst(std::span<pkt::Packet*> ps) {
   const std::uint64_t now = rt::now_ns();
   std::size_t n = 0;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     pump_locked(now);
     n = send_burst_locked(ps, now);
   }
@@ -519,7 +519,7 @@ std::size_t ReliableChannel::poll_burst(pkt::Packet** out, std::size_t max) {
   const std::uint64_t now = rt::now_ns();
   std::size_t n = 0;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     pump_locked(now);
     drain_wire_locked(now);
     while (n < max && !rx_ready_.empty()) {

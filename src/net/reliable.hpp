@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "net/link.hpp"
 #include "runtime/common.hpp"
 #include "runtime/histogram.hpp"
@@ -165,17 +165,19 @@ class ReliableChannel : public Port {
   }
 
   // All of the below run under mutex_.
-  void pump_locked(std::uint64_t now);
-  void process_ack_locked(const AckRec& ack, std::uint64_t now);
-  void rtt_sample_locked(std::uint64_t sample_ns);
-  void check_rto_locked(std::uint64_t now);
-  void retransmit_head_locked(std::uint64_t now);
-  void drain_wire_locked(std::uint64_t now);
+  void pump_locked(std::uint64_t now) SFC_REQUIRES(mutex_);
+  void process_ack_locked(const AckRec& ack, std::uint64_t now)
+      SFC_REQUIRES(mutex_);
+  void rtt_sample_locked(std::uint64_t sample_ns) SFC_REQUIRES(mutex_);
+  void check_rto_locked(std::uint64_t now) SFC_REQUIRES(mutex_);
+  void retransmit_head_locked(std::uint64_t now) SFC_REQUIRES(mutex_);
+  void drain_wire_locked(std::uint64_t now) SFC_REQUIRES(mutex_);
   void emit_ack_locked(std::uint64_t now, std::uint32_t echo_seq,
-                       std::uint64_t echo_tx_ns);
-  std::size_t effective_window_locked() const noexcept;
+                       std::uint64_t echo_tx_ns) SFC_REQUIRES(mutex_);
+  std::size_t effective_window_locked() const noexcept
+      SFC_REQUIRES(mutex_);
   std::size_t send_burst_locked(std::span<pkt::Packet*> ps,
-                                std::uint64_t now);
+                                std::uint64_t now) SFC_REQUIRES(mutex_);
 
   pkt::PacketPool& pool_;           ///< Free-path handle for duplicates.
   const ReliableConfig cfg_;
@@ -192,21 +194,24 @@ class ReliableChannel : public Port {
 
   WindowHot hot_;
 
-  mutable std::mutex mutex_;
+  /// Transport rank: the channel drives its underlying wire Link
+  /// (rank kLink) while holding this mutex.
+  mutable Mutex mutex_{ranks::kTransport, "net.reliable"};
   // Tx state.
-  std::vector<TxSlot> tx_slots_;
-  double cwnd_{1.0};                ///< Packets (fractional growth in CA).
-  double ssthresh_;
-  std::uint32_t dupack_run_{0};
+  std::vector<TxSlot> tx_slots_ SFC_GUARDED_BY(mutex_);
+  /// Packets (fractional growth in CA).
+  double cwnd_ SFC_GUARDED_BY(mutex_){1.0};
+  double ssthresh_ SFC_GUARDED_BY(mutex_);
+  std::uint32_t dupack_run_ SFC_GUARDED_BY(mutex_){0};
   // Rx state.
-  std::vector<pkt::Packet*> rx_slots_;
-  std::deque<pkt::Packet*> rx_ready_;
+  std::vector<pkt::Packet*> rx_slots_ SFC_GUARDED_BY(mutex_);
+  std::deque<pkt::Packet*> rx_ready_ SFC_GUARDED_BY(mutex_);
   // Modeled reverse wire.
-  std::deque<AckRec> ack_wire_;
-  std::uint64_t ack_delay_ns_;
-  std::uint64_t ack_loss_counter_{0};
-  rt::Histogram occupancy_hist_;
-  rt::Histogram rtt_hist_;
+  std::deque<AckRec> ack_wire_ SFC_GUARDED_BY(mutex_);
+  std::uint64_t ack_delay_ns_ SFC_GUARDED_BY(mutex_);
+  std::uint64_t ack_loss_counter_ SFC_GUARDED_BY(mutex_){0};
+  rt::Histogram occupancy_hist_ SFC_GUARDED_BY(mutex_);
+  rt::Histogram rtt_hist_ SFC_GUARDED_BY(mutex_);
 
   // Registry-backed counters (hot path increments these directly).
   obs::Counter* sent_;

@@ -74,7 +74,7 @@ ProfSlot* HotProfiler::maybe_slot() noexcept {
 }
 
 ProfSlot* HotProfiler::register_thread(std::string_view name) {
-  std::lock_guard lock(register_mutex_);
+  LockGuard lock(register_mutex_);
   // Re-check under the lock: another call on this thread cannot race us,
   // but thread_slot() after auto_slot() renames in place instead.
   ProfSlot* slot = maybe_slot();
@@ -124,7 +124,7 @@ void HotProfiler::count(ProfCounter c, std::uint64_t n) noexcept {
   if (SFC_UNLIKELY(quiet_armed_.load(std::memory_order_acquire)) &&
       prof_counter_is_violation(c)) {
     quiet_violations_.fetch_add(n, std::memory_order_acq_rel);
-    std::lock_guard lock(violation_mutex_);
+    LockGuard lock(violation_mutex_);
     if (violation_records_.size() < kMaxViolationRecords) {
       violation_records_.push_back(
           ProfViolation{c, rt::now_ns(), std::string(slot->name)});
@@ -134,7 +134,7 @@ void HotProfiler::count(ProfCounter c, std::uint64_t n) noexcept {
 
 void HotProfiler::arm_quiet() noexcept {
   {
-    std::lock_guard lock(violation_mutex_);
+    LockGuard lock(violation_mutex_);
     violation_records_.clear();
   }
   quiet_violations_.store(0, std::memory_order_release);
@@ -147,7 +147,7 @@ void HotProfiler::disarm_quiet() noexcept {
 }
 
 std::vector<ProfViolation> HotProfiler::violations() const {
-  std::lock_guard lock(violation_mutex_);
+  LockGuard lock(violation_mutex_);
   return violation_records_;
 }
 
@@ -162,7 +162,7 @@ void HotProfiler::reset() noexcept {
     for (auto& c : slot.counters) c.store(0, std::memory_order_relaxed);
   }
   {
-    std::lock_guard lock(violation_mutex_);
+    LockGuard lock(violation_mutex_);
     violation_records_.clear();
   }
   quiet_violations_.store(0, std::memory_order_release);

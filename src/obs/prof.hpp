@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "runtime/clock.hpp"
 #include "runtime/common.hpp"
 
@@ -248,13 +248,19 @@ class HotProfiler : rt::NonCopyable {
   const std::uint64_t gen_;
   ProfSlot slots_[kMaxSlots];
   std::atomic<std::uint32_t> next_slot_{0};
-  std::mutex register_mutex_;
+  /// A thread's first prof_count can fire inside PartitionLock::lock, so
+  /// slot registration must rank below the partition locks.
+  Mutex register_mutex_{ranks::kProfRegister, "prof.register"};
 
   std::atomic<bool> quiet_armed_{false};
   std::atomic<bool> quiet_was_armed_{false};
   std::atomic<std::uint64_t> quiet_violations_{0};
-  mutable std::mutex violation_mutex_;
-  std::vector<ProfViolation> violation_records_;
+  /// Violations are recorded from arbitrary hot-path lock contexts
+  /// (contended partition lock, applier MAX mutex), so this is nearly the
+  /// innermost rank in the tree.
+  mutable Mutex violation_mutex_{ranks::kProfViolation, "prof.violation"};
+  std::vector<ProfViolation> violation_records_
+      SFC_GUARDED_BY(violation_mutex_);
 };
 
 // ---------------------------------------------------------------------------

@@ -27,7 +27,7 @@ std::string Registry::key_of(char kind, std::string_view name,
 Counter& Registry::counter(std::string_view name, Labels labels) {
   labels = canonical(std::move(labels));
   const std::string key = key_of('c', name, labels);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     return *static_cast<Counter*>(it->second);
   }
@@ -41,7 +41,7 @@ Counter& Registry::counter(std::string_view name, Labels labels) {
 Gauge& Registry::gauge(std::string_view name, Labels labels) {
   labels = canonical(std::move(labels));
   const std::string key = key_of('g', name, labels);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     return *static_cast<Gauge*>(it->second);
   }
@@ -55,7 +55,7 @@ Gauge& Registry::gauge(std::string_view name, Labels labels) {
 Timer& Registry::timer(std::string_view name, Labels labels) {
   labels = canonical(std::move(labels));
   const std::string key = key_of('t', name, labels);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     return *static_cast<Timer*>(it->second);
   }
@@ -70,7 +70,7 @@ EventTrace& Registry::trace(std::string_view name, Labels labels,
                             std::size_t capacity) {
   labels = canonical(std::move(labels));
   const std::string key = key_of('e', name, labels);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     return *static_cast<EventTrace*>(it->second);
   }
@@ -84,7 +84,7 @@ void Registry::gauge_fn(std::string_view name, Labels labels,
                         std::function<double()> fn) {
   labels = canonical(std::move(labels));
   const std::string key = key_of('f', name, labels);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     static_cast<GaugeFnEntry*>(it->second)->fn = std::move(fn);
     return;
@@ -100,7 +100,7 @@ void Registry::histogram_fn(std::string_view name, Labels labels,
                             std::function<rt::Histogram()> fn) {
   labels = canonical(std::move(labels));
   const std::string key = key_of('h', name, labels);
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (const auto it = index_.find(key); it != index_.end()) {
     static_cast<HistFnEntry*>(it->second)->fn = std::move(fn);
     return;
@@ -119,7 +119,7 @@ void Registry::remove_matching(std::string_view label_key,
       return kv.first == label_key && kv.second == value;
     });
   };
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   // Callback entries only: value metrics keep their (dead but readable)
   // final counts; callbacks into destroyed owners must go. The deque slots
   // stay allocated (stable addresses) with the callback emptied.
@@ -132,7 +132,7 @@ void Registry::remove_matching(std::string_view label_key,
 }
 
 std::vector<Sample> Registry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<Sample> out;
   out.reserve(counters_.size() + gauges_.size() + timers_.size() +
               gauge_fns_.size() + hist_fns_.size());
@@ -182,7 +182,7 @@ std::vector<Sample> Registry::snapshot() const {
 }
 
 std::vector<TraceDump> Registry::trace_snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<TraceDump> out;
   out.reserve(traces_.size());
   for (const auto& e : traces_) {
@@ -197,24 +197,24 @@ std::vector<TraceDump> Registry::trace_snapshot() const {
 }
 
 std::size_t Registry::metric_count() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return counters_.size() + gauges_.size() + timers_.size() +
          gauge_fns_.size() + hist_fns_.size();
 }
 
 void Registry::reset_counters() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& e : counters_) e.value.reset();
   for (auto& e : timers_) e.value.reset();
 }
 
 void Registry::name_span_site(std::uint32_t site, std::string name) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   site_names_[site] = std::move(name);
 }
 
 std::map<std::uint32_t, std::string> Registry::span_site_names() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return site_names_;
 }
 

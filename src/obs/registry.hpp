@@ -15,13 +15,13 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "obs/trace.hpp"
 #include "runtime/common.hpp"
 #include "runtime/histogram.hpp"
@@ -75,23 +75,23 @@ class Gauge : rt::NonCopyable {
 class Timer : rt::NonCopyable {
  public:
   void record(std::uint64_t value) noexcept {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     hist_.record(value);
   }
 
   rt::Histogram snapshot() const {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     return hist_;
   }
 
   void reset() noexcept {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     hist_.reset();
   }
 
  private:
-  mutable std::mutex mutex_;
-  rt::Histogram hist_;
+  mutable Mutex mutex_{ranks::kLeaf, "obs.timer"};
+  rt::Histogram hist_ SFC_GUARDED_BY(mutex_);
 };
 
 /// One exported metric value (see Registry::snapshot).
@@ -203,16 +203,20 @@ class Registry : rt::NonCopyable {
                             const Labels& labels);
   static Labels canonical(Labels labels);
 
-  mutable std::mutex mutex_;
+  /// Outermost observability rank: snapshot() invokes gauge/histogram
+  /// callbacks under this mutex, and those callbacks take component locks
+  /// (node park state, buffer occupancy) — so no component may call back
+  /// into the registry while holding its own locks.
+  mutable Mutex mutex_{ranks::kObs, "obs.registry"};
   // Deques: stable addresses across growth (references escape the lock).
-  std::deque<Entry<Counter>> counters_;
-  std::deque<Entry<Gauge>> gauges_;
-  std::deque<Entry<Timer>> timers_;
-  std::deque<TraceEntry> traces_;
-  std::deque<GaugeFnEntry> gauge_fns_;
-  std::deque<HistFnEntry> hist_fns_;
-  std::unordered_map<std::string, void*> index_;
-  std::map<std::uint32_t, std::string> site_names_;
+  std::deque<Entry<Counter>> counters_ SFC_GUARDED_BY(mutex_);
+  std::deque<Entry<Gauge>> gauges_ SFC_GUARDED_BY(mutex_);
+  std::deque<Entry<Timer>> timers_ SFC_GUARDED_BY(mutex_);
+  std::deque<TraceEntry> traces_ SFC_GUARDED_BY(mutex_);
+  std::deque<GaugeFnEntry> gauge_fns_ SFC_GUARDED_BY(mutex_);
+  std::deque<HistFnEntry> hist_fns_ SFC_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, void*> index_ SFC_GUARDED_BY(mutex_);
+  std::map<std::uint32_t, std::string> site_names_ SFC_GUARDED_BY(mutex_);
   std::atomic<SpanCollector*> span_sink_{nullptr};
 };
 

@@ -78,25 +78,27 @@ SpanCollector::Ring* SpanCollector::local_ring() {
   for (const auto& ref : t_queues) {
     if (ref.gen == gen_) return ref.ring;
   }
-  std::lock_guard lock(register_mutex_);
-  // Label the ring by the owning worker so per-ring drop/occupancy gauges
-  // name the thread that produced them ("main" covers test/driver threads).
-  std::string owner{rt::current_worker_name()};
-  if (owner.empty()) owner = "main";
-  auto& ring = queues_.emplace_back(cfg_.thread_buffer_capacity,
-                                    std::move(owner));
-  if (registry_ != nullptr) {
-    const Labels labels{{"span", "collector"}, {"worker", ring.owner}};
-    registry_->gauge_fn("span.ring_dropped", labels, [&ring] {
-      return static_cast<double>(ring.drops.load(std::memory_order_relaxed));
-    });
-    registry_->gauge_fn("span.ring_high_water", labels, [&ring] {
-      return static_cast<double>(
-          ring.high_water.load(std::memory_order_relaxed));
-    });
+  Ring* ring = nullptr;
+  {
+    LockGuard lock(register_mutex_);
+    // Label the ring by the owning worker so per-ring drop/occupancy
+    // gauges name the thread that produced them ("main" covers
+    // test/driver threads).
+    std::string owner{rt::current_worker_name()};
+    if (owner.empty()) owner = "main";
+    ring = &queues_.emplace_back(cfg_.thread_buffer_capacity,
+                                 std::move(owner));
+    // Ring gauges cannot be registered here: a thread's first record()
+    // runs under whatever component lock the caller holds (e.g. the
+    // egress buffer flushing into a link), and Registry::gauge_fn takes
+    // the registry mutex, which outranks all of them — registering
+    // inline inverts the lock order against Registry::snapshot driving
+    // component callbacks. Park the ring for the drain side, which runs
+    // with nothing held above it.
+    if (registry_ != nullptr) pending_gauges_.push_back(ring);
   }
-  t_queues.push_back({gen_, &ring});
-  return &ring;
+  t_queues.push_back({gen_, ring});
+  return ring;
 }
 
 void SpanCollector::record(const SpanRecord& r) noexcept {
@@ -116,12 +118,26 @@ void SpanCollector::record(const SpanRecord& r) noexcept {
 }
 
 std::size_t SpanCollector::drain() {
-  std::lock_guard drain_lock(drain_mutex_);
+  LockGuard drain_lock(drain_mutex_);
   std::vector<Ring*> queues;
+  std::vector<Ring*> pending;
   {
-    std::lock_guard lock(register_mutex_);
+    LockGuard lock(register_mutex_);
     queues.reserve(queues_.size());
     for (auto& q : queues_) queues.push_back(&q);
+    pending.swap(pending_gauges_);
+  }
+  // Deferred ring-gauge registration (see local_ring): drain_mutex_
+  // outranks the registry mutex, so this is the safe side to touch it.
+  for (Ring* ring : pending) {
+    const Labels labels{{"span", "collector"}, {"worker", ring->owner}};
+    registry_->gauge_fn("span.ring_dropped", labels, [ring] {
+      return static_cast<double>(ring->drops.load(std::memory_order_relaxed));
+    });
+    registry_->gauge_fn("span.ring_high_water", labels, [ring] {
+      return static_cast<double>(
+          ring->high_water.load(std::memory_order_relaxed));
+    });
   }
   std::size_t moved = 0;
   for (auto* ring : queues) {
@@ -144,7 +160,7 @@ std::vector<SpanRecord> SpanCollector::snapshot() {
   drain();
   std::vector<SpanRecord> out;
   {
-    std::lock_guard lock(drain_mutex_);
+    LockGuard lock(drain_mutex_);
     out = records_;
   }
   std::stable_sort(out.begin(), out.end(),
@@ -156,11 +172,11 @@ std::vector<SpanRecord> SpanCollector::snapshot() {
 
 void SpanCollector::clear() {
   drain();
-  std::lock_guard lock(drain_mutex_);
+  LockGuard lock(drain_mutex_);
   records_.clear();
   collected_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
-  std::lock_guard reg_lock(register_mutex_);
+  LockGuard reg_lock(register_mutex_);
   for (auto& ring : queues_) {
     ring.drops.store(0, std::memory_order_relaxed);
     ring.high_water.store(0, std::memory_order_relaxed);

@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "obs/registry.hpp"
@@ -196,11 +195,20 @@ class SpanCollector : rt::NonCopyable {
   const Config cfg_;
   Registry* registry_{nullptr};
 
-  std::mutex register_mutex_;  ///< Guards queues_ growth.
-  std::deque<Ring> queues_;
+  /// Guards queues_ growth. Low rank: a thread's FIRST record() creates
+  /// its ring, and record() runs under node-level locks (egress flush),
+  /// so nothing heavier than leaf work may happen under this lock — ring
+  /// gauge registration into the registry is deferred to the drain side
+  /// (pending_gauges_) for exactly that reason.
+  Mutex register_mutex_{ranks::kSpanRegister, "span.register"};
+  std::deque<Ring> queues_ SFC_GUARDED_BY(register_mutex_);
+  /// Rings created but not yet gauge-registered (drained lazily).
+  std::vector<Ring*> pending_gauges_ SFC_GUARDED_BY(register_mutex_);
 
-  std::mutex drain_mutex_;  ///< Serializes the SPSC consumer side.
-  std::vector<SpanRecord> records_;
+  /// Serializes the SPSC consumer side. Above the registry rank: the
+  /// drainer registers deferred ring gauges while holding it.
+  Mutex drain_mutex_{ranks::kSpanDrain, "span.drain"};
+  std::vector<SpanRecord> records_ SFC_GUARDED_BY(drain_mutex_);
 
   std::atomic<std::uint64_t> collected_{0};
   std::atomic<std::uint64_t> dropped_{0};

@@ -34,7 +34,7 @@ EventTrace::EventTrace(std::size_t capacity)
 
 void EventTrace::emit(Event type, std::uint64_t a, std::uint64_t b) noexcept {
   const std::uint64_t now = rt::now_ns();
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(TraceEvent{now, type, a, b});
   } else {
@@ -44,7 +44,7 @@ void EventTrace::emit(Event type, std::uint64_t a, std::uint64_t b) noexcept {
 }
 
 std::vector<TraceEvent> EventTrace::snapshot() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -60,12 +60,12 @@ std::vector<TraceEvent> EventTrace::snapshot() const {
 }
 
 std::uint64_t EventTrace::total_emitted() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return next_;
 }
 
 std::uint64_t EventTrace::dropped() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return next_ > capacity_ ? next_ - capacity_ : 0;
 }
 
@@ -86,7 +86,7 @@ std::vector<TraceEvent> EventTrace::events_of(Event type) const {
 }
 
 void EventTrace::clear() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   ring_.clear();
   next_ = 0;
 }

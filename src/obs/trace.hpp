@@ -11,9 +11,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "runtime/common.hpp"
 
 namespace sfc::obs {
@@ -75,11 +75,12 @@ class EventTrace : rt::NonCopyable {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
+  mutable Mutex mutex_{ranks::kLeaf, "obs.trace"};
+  std::vector<TraceEvent> ring_ SFC_GUARDED_BY(mutex_);
   std::size_t capacity_;
-  std::uint64_t next_{0};  ///< Total emitted; ring_[next_ % capacity_] is
-                           ///< the next write slot once the ring is full.
+  /// Total emitted; ring_[next_ % capacity_] is the next write slot once
+  /// the ring is full.
+  std::uint64_t next_ SFC_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace sfc::obs

@@ -93,9 +93,11 @@ bool Orchestrator::monitor_body() {
 
 std::vector<RecoveryReport> Orchestrator::recover(
     const std::vector<std::uint32_t>& positions) {
-  // Serialized: the monitor and manual callers share this path.
-  static std::mutex recovery_mutex;
-  std::lock_guard recovery_lock(recovery_mutex);
+  // Serialized: the monitor and manual callers share this path. Outermost
+  // rank in the tree: a recovery drives the control plane, node state
+  // fetches, and registry timers while holding it.
+  static Mutex recovery_mutex{ranks::kOrch, "orch.recovery"};
+  LockGuard recovery_lock(recovery_mutex);
 
   struct Pending {
     RecoveryReport report;
@@ -214,7 +216,7 @@ std::vector<RecoveryReport> Orchestrator::recover(
   std::vector<RecoveryReport> out;
   out.reserve(pending.size());
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     for (auto& p : pending) {
       reports_.push_back(p.report);
       out.push_back(p.report);
@@ -224,7 +226,7 @@ std::vector<RecoveryReport> Orchestrator::recover(
 }
 
 std::vector<RecoveryReport> Orchestrator::reports() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return reports_;
 }
 

@@ -12,9 +12,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "core/chain.hpp"
 #include "runtime/worker.hpp"
 
@@ -83,8 +83,8 @@ class Orchestrator : rt::NonCopyable {
   std::uint64_t ping_seq_{0};
   std::map<net::NodeId, std::uint64_t> last_seen_ns_;
 
-  mutable std::mutex mutex_;
-  std::vector<RecoveryReport> reports_;
+  mutable Mutex mutex_{ranks::kLeaf, "orch.reports"};
+  std::vector<RecoveryReport> reports_ SFC_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> failures_detected_{0};
 
   obs::Counter* pings_sent_;

@@ -28,7 +28,7 @@ struct PcapRecordHeader {
 }  // namespace
 
 bool PcapWriter::open(const std::string& path) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (file_ != nullptr) return false;
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) return false;
@@ -38,11 +38,12 @@ bool PcapWriter::open(const std::string& path) {
     file_ = nullptr;
     return false;
   }
+  open_.store(true, std::memory_order_relaxed);
   return true;
 }
 
 bool PcapWriter::write(const Packet& packet, std::uint64_t timestamp_ns) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (file_ == nullptr) return false;
   if (timestamp_ns == 0) {
     timestamp_ns =
@@ -59,15 +60,16 @@ bool PcapWriter::write(const Packet& packet, std::uint64_t timestamp_ns) {
       std::fwrite(packet.data(), packet.size(), 1, file_) != 1) {
     return false;
   }
-  ++written_;
+  written_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void PcapWriter::close() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
+    open_.store(false, std::memory_order_relaxed);
   }
 }
 

@@ -4,11 +4,12 @@
 // traffic — including FTC's piggyback trailers — in Wireshark/tcpdump.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
-#include <mutex>
 #include <string>
 
+#include "base/mutex.hpp"
 #include "packet/packet.hpp"
 #include "runtime/common.hpp"
 
@@ -29,13 +30,21 @@ class PcapWriter : rt::NonCopyable {
 
   void close();
 
-  bool is_open() const noexcept { return file_ != nullptr; }
-  std::uint64_t packets_written() const noexcept { return written_; }
+  /// Lock-free observers: callers poll these concurrently with writers
+  /// (e.g. a test watching a tap fill), so both are relaxed atomics
+  /// mirroring state mutated under mutex_.
+  bool is_open() const noexcept {
+    return open_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t packets_written() const noexcept {
+    return written_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::mutex mutex_;
-  std::FILE* file_{nullptr};
-  std::uint64_t written_{0};
+  Mutex mutex_{ranks::kLeaf, "pcap.writer"};
+  std::FILE* file_ SFC_GUARDED_BY(mutex_){nullptr};
+  std::atomic<bool> open_{false};
+  std::atomic<std::uint64_t> written_{0};
 };
 
 }  // namespace sfc::pkt

@@ -1,8 +1,8 @@
 #include "runtime/logging.hpp"
 
 #include <atomic>
-#include <mutex>
 
+#include "base/mutex.hpp"
 #include "runtime/clock.hpp"
 
 namespace sfc::rt {
@@ -11,7 +11,8 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::atomic<LogSink> g_sink{nullptr};
-std::mutex g_write_mutex;
+// Innermost rank: any component may log while holding its own locks.
+Mutex g_write_mutex{ranks::kLogging, "log.write"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -41,7 +42,7 @@ void emit(LogLevel level, std::string_view component, std::string_view msg) {
     sink(level, line);
     return;
   }
-  std::lock_guard lock(g_write_mutex);
+  LockGuard lock(g_write_mutex);
   std::fprintf(stderr, "[%12.6f] %s %.*s: %.*s\n", now_sec(), level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(msg.size()), msg.data());

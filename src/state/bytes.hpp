@@ -42,7 +42,11 @@ class Bytes {
 
   void assign(std::span<const std::uint8_t> data) {
     reserve(data.size());
-    std::memcpy(mutable_data(), data.data(), data.size());
+    // An empty span may carry a null data(); memcpy's arguments are
+    // declared nonnull even for n == 0 (UBSan flags it).
+    if (!data.empty()) {
+      std::memcpy(mutable_data(), data.data(), data.size());
+    }
     size_ = static_cast<std::uint32_t>(data.size());
   }
 

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "base/lock_rank.hpp"
+#include "base/thread_annotations.hpp"
 #include "obs/prof.hpp"
 #include "runtime/common.hpp"
 
@@ -35,12 +37,17 @@ struct TxnSlot {
 /// The calling thread's slot (one per thread, reused across transactions).
 TxnSlot& this_thread_slot() noexcept;
 
-class alignas(rt::kCacheLineSize) PartitionLock {
+class SFC_CAPABILITY("mutex") alignas(rt::kCacheLineSize) PartitionLock {
  public:
   /// Wound-wait acquisition for the transaction identified by @p self.
   /// Returns false if @p self was wounded while waiting (the caller must
   /// abort; the lock was NOT acquired).
-  bool lock(TxnSlot* self) noexcept {
+  bool lock(TxnSlot* self) noexcept SFC_TRY_ACQUIRE(true) {
+    // Rank discipline: partition locks sit at ranks::kPartition; same-rank
+    // nesting is sanctioned (wound-wait makes arbitrary-order multi-lock
+    // deadlock-free), any other rank must already be higher.
+    lockrank::check_acquire(this, ranks::kPartition, "state.partition",
+                            SameRank::kWoundWait);
     bool saw_owner = false;
     for (unsigned spins = 0;; ++spins) {
       TxnSlot* expected = nullptr;
@@ -52,6 +59,8 @@ class alignas(rt::kCacheLineSize) PartitionLock {
       if (owner_.compare_exchange_weak(expected, self,
                                        std::memory_order_acq_rel,
                                        std::memory_order_acquire)) {
+        lockrank::note_held(this, ranks::kPartition, "state.partition",
+                            SameRank::kWoundWait);
         // Contention accounting (obs/prof): an acquisition is "contended"
         // when a CAS attempt lost to a live owner (spurious weak-CAS
         // failures do not count). One load + branch when no profiler is
@@ -83,13 +92,16 @@ class alignas(rt::kCacheLineSize) PartitionLock {
 
   /// Non-wound acquisition for replica appliers: the slot's timestamp is 0,
   /// so the caller can never be wounded and this always succeeds.
-  void lock_apply(TxnSlot* self) noexcept {
+  void lock_apply(TxnSlot* self) noexcept SFC_ACQUIRE() {
     self->ts.store(0, std::memory_order_relaxed);
     self->wounded.store(false, std::memory_order_relaxed);
     (void)lock(self);
   }
 
-  void unlock() noexcept { owner_.store(nullptr, std::memory_order_release); }
+  void unlock() noexcept SFC_RELEASE() {
+    lockrank::note_release(this);
+    owner_.store(nullptr, std::memory_order_release);
+  }
 
   bool held() const noexcept {
     return owner_.load(std::memory_order_acquire) != nullptr;

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_annotations.hpp"
 #include "runtime/common.hpp"
 #include "runtime/rng.hpp"
 #include "state/bytes.hpp"
@@ -69,6 +70,9 @@ class StateStore : rt::NonCopyable {
   }
 
   /// --- Primitive accessors. Caller must hold the partition's lock. ---
+  /// Which partition lock guards a key is data-dependent (partition_of),
+  /// so the requirement is not expressible as a static TSA capability;
+  /// the lock-rank detector covers the dynamic discipline instead.
   const Bytes* get_locked(Key key) const noexcept;
   void put_locked(Key key, Bytes value);
   bool erase_locked(Key key) noexcept;

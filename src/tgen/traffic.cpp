@@ -111,7 +111,7 @@ bool TrafficSink::body() {
   {
     // One timestamp, one lock acquisition, one meter/counter update per
     // drained burst.
-    std::lock_guard lock(latency_mutex_);
+    LockGuard lock(latency_mutex_);
     for (std::size_t i = 0; i < got; ++i) {
       pkt::Packet* p = rx[i];
       if (p->anno().is_control || p->anno().ingress_ns == 0) continue;

@@ -11,9 +11,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "base/mutex.hpp"
 #include "core/config.hpp"
 #include "net/link.hpp"
 #include "obs/span.hpp"
@@ -104,12 +104,12 @@ class TrafficSink : rt::NonCopyable {
 
   /// Snapshot of the latency histogram (nanoseconds).
   rt::Histogram latency() const {
-    std::lock_guard lock(latency_mutex_);
+    LockGuard lock(latency_mutex_);
     return latency_;
   }
 
   void reset_latency() {
-    std::lock_guard lock(latency_mutex_);
+    LockGuard lock(latency_mutex_);
     latency_.reset();
   }
 
@@ -122,8 +122,8 @@ class TrafficSink : rt::NonCopyable {
   std::unique_ptr<rt::Worker> worker_;
   std::atomic<std::uint64_t> received_{0};
   rt::Meter meter_;
-  mutable std::mutex latency_mutex_;
-  rt::Histogram latency_;
+  mutable Mutex latency_mutex_{ranks::kLeaf, "tgen.latency"};
+  rt::Histogram latency_ SFC_GUARDED_BY(latency_mutex_);
 };
 
 /// Result of a timed load run.

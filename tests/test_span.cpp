@@ -208,6 +208,40 @@ TEST(SpanCollector, UnregistersFromRegistryOnDestruction) {
   EXPECT_EQ(second.snapshot().size(), 1u);
 }
 
+TEST(SpanCollector, FirstRecordUnderComponentLockSafeAgainstSnapshot) {
+  // Regression: local_ring() used to register its health gauges inline on
+  // the record path, taking the registry mutex (rank obs.registry) while
+  // holding span.register — a lock-order inversion against
+  // Registry::snapshot() driving component callbacks. Registration is now
+  // deferred to the drain side; with lock-rank checks on, reintroducing
+  // the inline registration aborts this test.
+  Registry registry;
+  SpanCollector collector(&registry);
+  Mutex component_lock{ranks::kNode, "test.component"};
+  std::thread recorder([&] {
+    // First record from this thread while holding a component-level lock,
+    // as the egress-flush instrumentation does: creates the ring.
+    LockGuard hold(component_lock);
+    collector.record(SpanRecord{7, rt::now_ns(), 0, span_site_node(1),
+                                SpanKind::kBufferRelease});
+  });
+  // Meanwhile, snapshot the registry (invokes gauge callbacks under the
+  // registry mutex) — the historical deadlock's other half.
+  for (int i = 0; i < 50; ++i) (void)registry.snapshot();
+  recorder.join();
+
+  // After an explicit drain the deferred ring gauges are registered.
+  collector.drain();
+  bool dropped_gauge = false;
+  bool high_water_gauge = false;
+  for (const auto& s : registry.snapshot()) {
+    dropped_gauge |= s.name == "span.ring_dropped";
+    high_water_gauge |= s.name == "span.ring_high_water";
+  }
+  EXPECT_TRUE(dropped_gauge);
+  EXPECT_TRUE(high_water_gauge);
+}
+
 // --- End-to-end ordering across a lossy, reordering chain. --------------
 
 TEST(SpanChain, SpansOrderedAcrossLossyChain) {

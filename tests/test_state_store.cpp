@@ -33,6 +33,16 @@ TEST(Bytes, HeapRoundTrip) {
   EXPECT_EQ(std::memcmp(b.data(), big.data(), big.size()), 0);
 }
 
+TEST(Bytes, AssignEmptySpanWithNullData) {
+  // An empty std::span carries a null data() pointer; assign() must not
+  // feed it to memcpy (UBSan: null passed to a nonnull argument).
+  Bytes b(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>("xyz"), 3));
+  b.assign(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b, Bytes());
+}
+
 TEST(Bytes, CopySemantics) {
   Bytes a(std::span<const std::uint8_t>(
       reinterpret_cast<const std::uint8_t*>("hello"), 5));

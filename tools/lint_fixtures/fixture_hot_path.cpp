@@ -1,0 +1,60 @@
+// Fixtures for tools/lint_hot_path.py --self-test.
+//
+// Not compiled into the build: the lint's textual engine parses this file
+// and must (a) flag every violation in the hot_entry call graph and
+// (b) stay quiet on the clean_entry call graph (with cold_spill marked as
+// a cold boundary, mirroring how the real tree handles park/control
+// fallbacks).
+
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+class FixtureNode {
+ public:
+  // --- Dirty graph: hot_entry -> burst_helper / format_label. ---
+
+  int hot_entry(int n) {
+    LockGuard lock(mutex_);  // blocking-lock: guard on the hot path.
+    int acc = 0;
+    for (int i = 0; i < n; ++i) acc += burst_helper(i);
+    return acc + static_cast<int>(format_label(n).size());
+  }
+
+  int burst_helper(int i) {
+    auto* scratch = new std::uint8_t[64];  // alloc: per-burst heap churn.
+    if (scratch == nullptr) throw i;       // throw: exceptional exit.
+    int v = static_cast<int>(scratch[0]) + i;
+    delete[] scratch;
+    return v;
+  }
+
+  std::string format_label(int n) {
+    std::string label("burst-");          // string-growth: construction…
+    label.append(std::to_string(n));      // …and append + to_string.
+    return label;
+  }
+
+  // --- Clean graph: clean_entry -> accumulate (+ cold_spill boundary). ---
+
+  int clean_entry(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; ++i) acc = accumulate(acc, i);
+    if (acc < 0) cold_spill(acc);
+    return acc;
+  }
+
+  int accumulate(int acc, int i) { return acc + i * 2; }
+
+  // Cold boundary (allowlisted by the self-test): may allocate freely.
+  void cold_spill(int acc) {
+    auto* held = new int(acc);
+    delete held;
+  }
+
+ private:
+  int mutex_{0};  // Stand-in; only the LockGuard token matters to the lint.
+};
+
+}  // namespace fixture
