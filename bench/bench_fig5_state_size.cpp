@@ -1,16 +1,148 @@
 // Figure 5: FTC throughput of the Gen middlebox vs generated state size
 // (16/64/128/256 B) for packet sizes 128/256/512 B, plus the §7.2 latency
-// micro-benchmark (state size impact on latency is negligible).
+// micro-benchmark (state size impact on latency is negligible), plus a
+// large-state sweep that grows the store to a million per-flow entries and
+// measures throughput + hot-path budget under flow churn.
 //
 // Paper shape: piggyback size only matters when it is large relative to
 // the packet — 128 B packets lose ~9% with states <= 128 B; 512 B packets
 // lose <1% with states up to 256 B; latency deltas < 2 us.
+//
+// Environment knobs for the large-state sweep:
+//   FTC_FIG5_MFLOW_ONLY=1   run only the million-flow sweep (CI smoke)
+//   FTC_FIG5_FLOWS=N        flow count (default 1048576; CI uses ~20000)
+//   FTC_FIG5_OWNERSHIP=     "shard" (default) or "locked" apply path
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
 #include "common.hpp"
 
 using namespace sfc;
 using namespace sfc::bench;
 
+namespace {
+
+std::size_t mflow_flows() {
+  if (const char* env = std::getenv("FTC_FIG5_FLOWS")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 1'048'576;
+}
+
+ftc::Ownership mflow_ownership() {
+  if (const char* env = std::getenv("FTC_FIG5_OWNERSHIP")) {
+    if (std::strcmp(env, "locked") == 0) return ftc::Ownership::kLocked;
+  }
+  return ftc::Ownership::kShardAffine;
+}
+
+/// Million-flow state sweep: fill the Gen store with one 64 B entry per
+/// flow, then measure saturated throughput and a paced quiet-mode budget
+/// probe while the workload churns (fresh flows keep inserting keys).
+/// The shard-affine path must stay quiet with zero partition-lock
+/// contention: the single data worker owns every partition.
+bool run_mflow_sweep(obs::Report& report) {
+  const std::size_t flows = mflow_flows();
+  const ftc::Ownership own = mflow_ownership();
+  const std::uint32_t state_size = 64;
+  const obs::Labels point{{"probe", "mflow"},
+                          {"ownership", ftc::to_string(own)},
+                          {"flows", std::to_string(flows)}};
+
+  std::printf("\nlarge-state sweep: %zu flows x %uB entries, ownership=%s\n",
+              flows, state_size, ftc::to_string(own));
+
+  auto spec = base_spec(ChainMode::kFtc, {gen(state_size, /*per_flow=*/true)});
+  spec.cfg.ownership = own;
+  spec.cfg.profile = true;
+  spec.cfg.quiet_assert = true;
+  ChainRuntime chain(spec);
+  chain.start();
+
+  // Phase 1: fill. One pass of the round-robin workload inserts one key
+  // per flow; a 32-bit flow-hash key space makes a few collisions
+  // inevitable at 2^20 flows, so the target leaves 1% slack.
+  tgen::Workload w;
+  w.num_flows = flows;
+  w.frame_len = 128;
+  auto& head_store = chain.ftc_node(0)->head()->store();
+  const std::size_t target = flows - flows / 100;
+  {
+    tgen::TrafficSource source(chain.pool(), chain.ingress(), w);
+    tgen::TrafficSink sink(chain.pool(), chain.egress());
+    sink.start();
+    source.start();
+    const auto deadline = rt::now_ns() + 180'000'000'000ull;
+    while (head_store.total_entries() < target && rt::now_ns() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    source.stop();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    sink.stop();
+  }
+  const std::size_t entries = head_store.total_entries();
+  const bool filled = entries >= target;
+  report.metric("mflow_entries", static_cast<double>(entries), point);
+  std::printf("  fill: %zu entries (target %zu) %s\n", entries, target,
+              filled ? "ok" : "TIMEOUT");
+
+  // Phase 2: saturated throughput under churn — expired flows are reborn
+  // as never-seen 5-tuples, so the measured window keeps inserting fresh
+  // keys into the full store instead of rewriting a warm working set.
+  tgen::Workload churn = w;
+  churn.churn_mean_packets = 256;
+  churn.churn_alpha = 1.5;
+  const auto r = measure_tput(chain, churn);
+  report.metric("mflow_throughput_mpps", r.delivered_mpps, point);
+  report.metric("mflow_ns_per_packet", mpps_to_ns(r.delivered_mpps), point);
+  std::printf("  churn throughput: %.3f Mpps (%.0f ns/pkt)\n",
+              r.delivered_mpps, mpps_to_ns(r.delivered_mpps));
+
+  // Phase 3: paced quiet-mode budget probe. Steady state on the full
+  // store must hold the hot-path contract: no partition-lock contention
+  // (shard mode: the owner commits lock-free), no owner misses, no
+  // steady-state allocation or blocking-send slow paths.
+  obs::HotProfiler* prof = chain.profiler();
+  (void)tgen::run_load(chain.pool(), chain.ingress(), chain.egress(), churn,
+                       100'000.0, point_seconds(), warmup_seconds(), nullptr,
+                       [&chain, prof] {
+                         chain.registry().reset_counters();
+                         prof->reset();
+                         prof->arm_quiet();
+                       });
+  prof->disarm_quiet();
+  const auto budget = prof->report();
+  const bool quiet_ok = prof->quiet_ok();
+  const auto contended = budget.total.counters[static_cast<std::size_t>(
+      obs::ProfCounter::kPartitionLockContended)];
+  const auto owner_miss = budget.total.counters[static_cast<std::size_t>(
+      obs::ProfCounter::kOwnerMiss)];
+  report.metric("mflow_budget_quiet_ok", quiet_ok ? 1.0 : 0.0, point);
+  report.metric("mflow_partition_lock_contended",
+                static_cast<double>(contended), point);
+  report.metric("mflow_owner_miss", static_cast<double>(owner_miss), point);
+  report.add_snapshot(chain.registry(),
+                      obs::Labels{{"source", "registry"}, {"probe", "mflow"}});
+  std::printf("  budget probe: quiet=%s partition_lock_contended=%llu "
+              "owner_miss=%llu\n",
+              quiet_ok ? "ok" : "VIOLATED",
+              static_cast<unsigned long long>(contended),
+              static_cast<unsigned long long>(owner_miss));
+  chain.stop();
+
+  bool ok = filled && r.delivered_mpps > 0;
+  if (own == ftc::Ownership::kShardAffine) {
+    ok = ok && quiet_ok && contended == 0 && owner_miss == 0;
+  }
+  return ok;
+}
+
+}  // namespace
+
 int main() {
+  const bool mflow_only = std::getenv("FTC_FIG5_MFLOW_ONLY") != nullptr;
   print_header("Figure 5 — throughput vs state size (Gen, 1 thread)",
                "<=9%% drop @128B pkts & <=128B state; <1%% drop @512B pkts");
 
@@ -19,68 +151,75 @@ int main() {
   auto report = make_report("fig5_state_size");
   report.meta("middlebox", "gen").meta("threads", 1);
 
-  std::printf("%-12s", "pkt \\ state");
-  for (auto s : state_sizes) std::printf("  %6uB", s);
-  std::printf("   (Mpps; rel. to 16B state)\n");
-
   bool shape_ok = true;
-  for (const auto pkt_size : packet_sizes) {
-    std::printf("%9zuB  ", pkt_size);
-    double base_mpps = 0;
-    std::vector<double> rel;
+  if (!mflow_only) {
+    std::printf("%-12s", "pkt \\ state");
+    for (auto s : state_sizes) std::printf("  %6uB", s);
+    std::printf("   (Mpps; rel. to 16B state)\n");
+
+    for (const auto pkt_size : packet_sizes) {
+      std::printf("%9zuB  ", pkt_size);
+      double base_mpps = 0;
+      std::vector<double> rel;
+      for (const auto state_size : state_sizes) {
+        auto spec = base_spec(ChainMode::kFtc, {gen(state_size)});
+        ChainRuntime chain(spec);
+        chain.start();
+        tgen::Workload w;
+        w.frame_len = pkt_size;
+        const auto r = measure_tput(chain, w);
+        chain.stop();
+        if (base_mpps == 0) base_mpps = r.delivered_mpps;
+        rel.push_back(base_mpps > 0 ? r.delivered_mpps / base_mpps : 0);
+        const obs::Labels point{{"pkt_bytes", std::to_string(pkt_size)},
+                                {"state_bytes", std::to_string(state_size)}};
+        report.metric("throughput_mpps", r.delivered_mpps, point);
+        report.metric("ns_per_packet", mpps_to_ns(r.delivered_mpps), point);
+        std::printf("  %6.3f", r.delivered_mpps);
+      }
+      std::printf("   rel:");
+      for (double r : rel) std::printf(" %4.2f", r);
+      std::printf("\n");
+      // Shape reproducible here: throughput declines smoothly and modestly
+      // with state size (the per-byte piggyback handling cost). The paper's
+      // packet-size interaction (128 B packets hurt more than 512 B) comes
+      // from NIC wire-share, which in-memory links do not model.
+      if (pkt_size == 512 && rel.back() < 0.6) shape_ok = false;
+    }
+
+    // §7.2 latency micro: Gen and Ch-Gen latency vs state size.
+    std::printf("\nlatency vs state size (Ch-Gen: Gen->Gen, fixed moderate "
+                "load; paper: delta < 2 us)\n");
+    double base_lat = 0;
     for (const auto state_size : state_sizes) {
-      auto spec = base_spec(ChainMode::kFtc, {gen(state_size)});
+      auto spec =
+          base_spec(ChainMode::kFtc, {gen(state_size), gen(state_size)});
       ChainRuntime chain(spec);
       chain.start();
       tgen::Workload w;
-      w.frame_len = pkt_size;
-      const auto r = measure_tput(chain, w);
+      w.frame_len = 512;
+      const auto r = measure_latency(chain, w, 20'000.0);
       chain.stop();
-      if (base_mpps == 0) base_mpps = r.delivered_mpps;
-      rel.push_back(base_mpps > 0 ? r.delivered_mpps / base_mpps : 0);
-      const obs::Labels point{{"pkt_bytes", std::to_string(pkt_size)},
-                              {"state_bytes", std::to_string(state_size)}};
-      report.metric("throughput_mpps", r.delivered_mpps, point);
-      report.metric("ns_per_packet", mpps_to_ns(r.delivered_mpps), point);
-      std::printf("  %6.3f", r.delivered_mpps);
+      if (base_lat == 0) base_lat = r.mean_latency_us();
+      report.metric("mean_latency_us", r.mean_latency_us(),
+                    {{"state_bytes", std::to_string(state_size)}});
+      report.metric("p99_latency_us", r.p99_latency_us(),
+                    {{"state_bytes", std::to_string(state_size)}});
+      std::printf("  state %4uB: mean %7.1f us (p99 %7.1f us) delta %+6.1f us\n",
+                  state_size, r.mean_latency_us(), r.p99_latency_us(),
+                  r.mean_latency_us() - base_lat);
     }
-    std::printf("   rel:");
-    for (double r : rel) std::printf(" %4.2f", r);
-    std::printf("\n");
-    // Shape reproducible here: throughput declines smoothly and modestly
-    // with state size (the per-byte piggyback handling cost). The paper's
-    // packet-size interaction (128 B packets hurt more than 512 B) comes
-    // from NIC wire-share, which in-memory links do not model.
-    if (pkt_size == 512 && rel.back() < 0.6) shape_ok = false;
   }
 
-  // §7.2 latency micro: Gen and Ch-Gen latency vs state size.
-  std::printf("\nlatency vs state size (Ch-Gen: Gen->Gen, fixed moderate "
-              "load; paper: delta < 2 us)\n");
-  double base_lat = 0;
-  for (const auto state_size : state_sizes) {
-    auto spec =
-        base_spec(ChainMode::kFtc, {gen(state_size), gen(state_size)});
-    ChainRuntime chain(spec);
-    chain.start();
-    tgen::Workload w;
-    w.frame_len = 512;
-    const auto r = measure_latency(chain, w, 20'000.0);
-    chain.stop();
-    if (base_lat == 0) base_lat = r.mean_latency_us();
-    report.metric("mean_latency_us", r.mean_latency_us(),
-                  {{"state_bytes", std::to_string(state_size)}});
-    report.metric("p99_latency_us", r.p99_latency_us(),
-                  {{"state_bytes", std::to_string(state_size)}});
-    std::printf("  state %4uB: mean %7.1f us (p99 %7.1f us) delta %+6.1f us\n",
-                state_size, r.mean_latency_us(), r.p99_latency_us(),
-                r.mean_latency_us() - base_lat);
+  const bool mflow_ok = run_mflow_sweep(report);
+  if (!mflow_only) {
+    std::printf("shape check (smooth, modest decline with state size; <=40%% "
+                "at 256B): %s\n",
+                shape_ok ? "yes" : "NO");
   }
-
-  std::printf("shape check (smooth, modest decline with state size; <=40%% "
-              "at 256B): %s\n",
-              shape_ok ? "yes" : "NO");
-  report.shape_check(shape_ok);
+  std::printf("mflow check (fill + churn throughput + quiet budget): %s\n",
+              mflow_ok ? "yes" : "NO");
+  report.shape_check(shape_ok && mflow_ok);
   finish_report(report);
-  return shape_ok ? 0 : 1;
+  return (shape_ok && mflow_ok) ? 0 : 1;
 }

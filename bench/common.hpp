@@ -68,9 +68,10 @@ inline FtcNode::MboxFactory simple_nat() {
   };
 }
 
-inline FtcNode::MboxFactory gen(std::uint32_t state_size) {
-  return [state_size]() -> std::unique_ptr<mbox::Middlebox> {
-    return std::make_unique<mbox::Gen>(state_size);
+inline FtcNode::MboxFactory gen(std::uint32_t state_size,
+                                bool per_flow = false) {
+  return [state_size, per_flow]() -> std::unique_ptr<mbox::Middlebox> {
+    return std::make_unique<mbox::Gen>(state_size, per_flow);
   };
 }
 

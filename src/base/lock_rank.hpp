@@ -36,6 +36,7 @@ using LockRank = std::uint16_t;
 
 namespace ranks {
 // clang-format off
+inline constexpr LockRank kSeqlockWrite = 2;    ///< shard-affine store seqlock write section: may block on NOTHING (even logging), so the window stays a handful of stores.
 inline constexpr LockRank kLogging      = 5;    ///< runtime log write mutex: anything may log.
 inline constexpr LockRank kProfViolation= 8;    ///< prof violation records (fires under partition locks).
 inline constexpr LockRank kProfRegister = 12;   ///< prof slot registration (first touch under partition locks).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "obs/span.hpp"
 
@@ -185,21 +187,55 @@ std::uint64_t ChainRuntime::egress_packets() const noexcept {
 }
 
 bool ChainRuntime::quiescent() {
+  static const bool dbg = std::getenv("FTC_QUIESCE_DEBUG") != nullptr;
   for (auto& link : links_) {
-    if (!link->drained()) return false;
+    if (!link->drained()) {
+      if (dbg) std::fprintf(stderr, "[quiesce] link not drained\n");
+      return false;
+    }
   }
   for (auto& link : ftmb_links_) {
     if (!link->drained()) return false;
   }
-  if (feedback_ && feedback_->pending_approx() != 0) return false;
-  if (buffer_ && buffer_->held_count() != 0) return false;
+  if (feedback_ && feedback_->pending_approx() != 0) {
+    if (dbg)
+      std::fprintf(stderr, "[quiesce] feedback pending=%zu\n",
+                   feedback_->pending_approx());
+    return false;
+  }
+  if (buffer_ && buffer_->held_count() != 0) {
+    if (dbg)
+      std::fprintf(stderr, "[quiesce] buffer held=%zu\n",
+                   buffer_->held_count());
+    return false;
+  }
   for (auto& slot : ftc_at_) {
     FtcNode* node = slot.load(std::memory_order_acquire);
-    if (node != nullptr && node->parked_count() != 0) return false;
+    if (node != nullptr && node->parked_count() != 0) {
+      if (dbg)
+        std::fprintf(stderr, "[quiesce] node pos=%u parked=%zu\n",
+                     node->position(), node->parked_count());
+      return false;
+    }
     // A burst a worker has popped but not finished is in no link queue yet
     // still carries unapplied logs; checked after the links so a token
     // observed as zero means the packets are back somewhere visible.
-    if (node != nullptr && node->bursts_in_flight() != 0) return false;
+    if (node != nullptr && node->bursts_in_flight() != 0) {
+      if (dbg)
+        std::fprintf(stderr, "[quiesce] node pos=%u bursts_in_flight=%zu\n",
+                     node->position(),
+                     static_cast<std::size_t>(node->bursts_in_flight()));
+      return false;
+    }
+    // Shard mode: a cross-shard portion sitting in a handoff ring counted
+    // as applied at classification, but its writes reach the store only at
+    // the owner's drain.
+    if (node != nullptr && node->handoff_pending()) {
+      if (dbg)
+        std::fprintf(stderr, "[quiesce] node pos=%u handoff pending\n",
+                     node->position());
+      return false;
+    }
   }
   return true;
 }

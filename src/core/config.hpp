@@ -46,6 +46,23 @@ constexpr const char* to_string(TransportMode t) noexcept {
   return "?";
 }
 
+/// State-store concurrency discipline.
+enum class Ownership : std::uint8_t {
+  kLocked,       ///< Wound-wait partition locks + applier MAX mutex
+                 ///< everywhere (the PR-7 behavior; differential oracle).
+  kShardAffine,  ///< Partition→worker ownership: owner-hit applies are
+                 ///< lock-free single-writer, cross-shard writes go through
+                 ///< SPSC handoff rings drained at burst boundaries.
+};
+
+constexpr const char* to_string(Ownership o) noexcept {
+  switch (o) {
+    case Ownership::kLocked: return "locked";
+    case Ownership::kShardAffine: return "shard";
+  }
+  return "?";
+}
+
 struct ChainConfig {
   /// Failures tolerated: each middlebox's state is replicated on f+1
   /// servers along the chain.
@@ -66,6 +83,17 @@ struct ChainConfig {
 
   /// Packet-processing threads per server.
   std::size_t threads_per_node{1};
+
+  /// State concurrency model. Shard-affine is the default; appliers shard
+  /// at any thread count, while the head store's transaction fast path
+  /// engages only at threads_per_node == 1 (multi-threaded heads keep
+  /// wound-wait 2PL, which IS the concurrency control there).
+  Ownership ownership{Ownership::kShardAffine};
+
+  /// Per-ring entry capacity of the cross-shard handoff mesh (shard-affine
+  /// mode). A full target ring holds the whole log (all-or-nothing), so
+  /// undersizing converts cross-shard bursts into parks, not corruption.
+  std::size_t handoff_capacity{512};
 
   /// Shared packet pool size.
   std::size_t pool_packets{8192};

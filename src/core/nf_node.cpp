@@ -19,6 +19,8 @@ inline void span_event(obs::Registry* reg, std::uint32_t site,
 }  // namespace
 
 void NfNode::start() {
+  // Rebind the shard-affine transaction fast path to the new worker thread.
+  txn_ctx_.reset_owner();
   for (std::size_t t = 0; t < cfg_.threads_per_node; ++t) {
     auto worker = std::make_unique<rt::Worker>();
     worker->start(

@@ -43,6 +43,13 @@ class NfNode : rt::NonCopyable {
                                 "nf pos" + std::to_string(position_));
     }
     burst_size_ = std::clamp<std::size_t>(cfg.burst_size, 1, kMaxBurst);
+    // Single-threaded NF baseline gets the same lock-free commit path as
+    // the FTC head, so fig5/fig9 comparisons isolate protocol cost rather
+    // than locking discipline.
+    if (cfg.ownership == Ownership::kShardAffine && cfg.threads_per_node == 1) {
+      store_.enable_shard_affine();
+      txn_ctx_.enable_shard_affine();
+    }
   }
 
   ~NfNode() { stop(); }

@@ -150,6 +150,47 @@ FtcNode::FtcNode(Params params)
   tail_mbox_ = tail_of();
   tail_applier_ = tail_mbox_ != ring_size_ ? applier(tail_mbox_) : nullptr;
   burst_size_ = std::clamp<std::size_t>(cfg_.burst_size, 1, kMaxBurst);
+
+  // Shard-affine state (cfg.ownership): partition ownership + handoff
+  // mesh, enabled before any worker exists. Appliers shard at any thread
+  // count; the head's transaction fast path engages only when exactly one
+  // thread transacts (multi-threaded heads keep wound-wait 2PL — that IS
+  // their concurrency control).
+  const auto workers = static_cast<std::uint32_t>(cfg_.threads_per_node);
+  if (cfg_.ownership == Ownership::kShardAffine &&
+      workers <= state::ShardMap::kMaxWorkers && !appliers_.empty()) {
+    shard_map_ = std::make_unique<state::ShardMap>(cfg_.num_partitions, workers);
+    // One producer row per data worker plus one for the control thread
+    // (NACK replay offers from there and owns no shard).
+    handoff_mesh_ = std::make_unique<StateHandoffMesh>(
+        workers + 1, workers, cfg_.handoff_capacity);
+    for (auto& [m, a] : appliers_) {
+      a->enable_shard_affine(shard_map_.get(), handoff_mesh_.get());
+    }
+  }
+  if (cfg_.ownership == Ownership::kShardAffine && head_ != nullptr &&
+      cfg_.threads_per_node == 1) {
+    head_->enable_shard_affine();
+  }
+  const obs::Labels slabels{{"node", std::to_string(id_)},
+                            {"pos", std::to_string(position_)}};
+  registry_->gauge_fn("state.partition_keys_hw", slabels, [this] {
+    std::uint64_t hw = head_ != nullptr ? head_->store().keys_high_water() : 0;
+    for (const auto& [m, a] : applier_cache_) {
+      hw = std::max(hw, a->store().keys_high_water());
+    }
+    return static_cast<double>(hw);
+  });
+  registry_->gauge_fn("state.handoff_depth_hw", slabels, [this] {
+    return handoff_mesh_ != nullptr
+               ? static_cast<double>(handoff_mesh_->depth_high_water())
+               : 0.0;
+  });
+  registry_->gauge_fn("state.owner_miss", slabels, [this] {
+    return head_ != nullptr
+               ? static_cast<double>(head_->txn_ctx().owner_misses())
+               : 0.0;
+  });
 }
 
 FtcNode::~FtcNode() {
@@ -216,11 +257,17 @@ bool FtcNode::replicates(MboxId mbox) const noexcept {
 
 void FtcNode::start() {
   start_control();
+  // A restart binds the head's transaction fast path to the new worker
+  // thread (the previous owner thread is gone).
+  if (head_ != nullptr) head_->txn_ctx().reset_owner();
   for (std::size_t t = 0; t < cfg_.threads_per_node; ++t) {
     auto worker = std::make_unique<rt::Worker>();
     worker->start("ftc-node-" + std::to_string(position_) + "-t" +
                       std::to_string(t),
-                  [this, t] { return worker_body(static_cast<std::uint32_t>(t)); });
+                  [this, t] {
+                    rt::set_current_shard(static_cast<std::uint32_t>(t));
+                    return worker_body(static_cast<std::uint32_t>(t));
+                  });
     workers_.push_back(std::move(worker));
   }
 }
@@ -255,13 +302,22 @@ void FtcNode::fail() {
   LockGuard lock(park_mutex_);
   for (auto& w : parked_) pool_.free_raw(w.packet);
   parked_.clear();
+  parked_size_.store(0, std::memory_order_release);
 }
 
 bool FtcNode::worker_body(std::uint32_t thread_id) {
   if (failed_.load(std::memory_order_acquire)) return false;
-  if (quiesced_.load(std::memory_order_acquire)) return false;
 
-  active_workers_.fetch_add(1, std::memory_order_acq_rel);
+  // Dekker with quiesce_and: announce activity FIRST, then check the
+  // quiesce flag (both seq_cst). The old check-then-announce order let a
+  // worker slip past a quiesce that had already seen active == 0 — benign
+  // when quiesce only serialized stores, fatal now that the control thread
+  // drains handoff rings (single-consumer) under quiesce.
+  active_workers_.fetch_add(1, std::memory_order_seq_cst);
+  if (quiesced_.load(std::memory_order_seq_cst)) {
+    active_workers_.fetch_sub(1, std::memory_order_release);
+    return false;
+  }
   bool did_work = false;
 
   // Ingress duties: emit a propagating packet when the chain is idle but
@@ -381,6 +437,17 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
           }
         }
       }
+      // Burst boundary: apply cross-shard portions other workers (or the
+      // control thread) queued for this worker's partitions. Timed as its
+      // own primary stage inside the burst window.
+      if (handoff_mesh_ != nullptr) {
+        drain_handoff(thread_id);
+        if (slot != nullptr) {
+          const std::uint64_t t = rt::rdtsc();
+          b.prof_add(obs::ProfStage::kHandoffDrain, t - b.prof_mark);
+          b.prof_mark = t;
+        }
+      }
       b.owner = nullptr;
       // The whole burst tail — egress flush, meter/counter flush, cycle
       // accounting — bills to kEgressFlush: it opens at the chained mark
@@ -446,8 +513,62 @@ bool FtcNode::worker_body(std::uint32_t thread_id) {
     bursts_in_flight_.fetch_sub(1);
   }
 
+  // Idle duties in shard mode: portions queued for this shard by other
+  // workers or the control thread (NACK replay) must not wait for the
+  // next ingress burst, and parked packets the control replay unblocked
+  // are drained here — the control thread never transacts in shard mode.
+  if (!did_work && handoff_mesh_ != nullptr) {
+    if (drain_handoff(thread_id) != 0) did_work = true;
+    if (parked_size_.load(std::memory_order_acquire) != 0) {
+      drain_parked();
+    }
+  }
+
   active_workers_.fetch_sub(1, std::memory_order_acq_rel);
   return did_work;
+}
+
+std::size_t FtcNode::drain_handoff(std::uint32_t thread_id) {
+  auto& deferred = handoff_deferred_[thread_id];
+  const std::size_t was_deferred = deferred.size();
+  const std::size_t popped =
+      handoff_mesh_->drain(thread_id, [&deferred](StateHandoff& h) {
+        deferred.push_back(std::move(h));
+      });
+  if (deferred.empty()) return 0;
+  // Resolve until a full pass makes no progress: an entry future in one
+  // pass becomes applicable once a lower-seq entry from another producer's
+  // ring applies. Entries still future after that are waiting on a portion
+  // not yet in any of this owner's rings (producer mid-push, or a genuine
+  // gap pending NACK recovery) — they stay deferred for the next drain.
+  std::size_t resolved = 0;
+  bool progress = true;
+  while (progress && !deferred.empty()) {
+    progress = false;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < deferred.size(); ++i) {
+      if (deferred[i].applier->apply_handoff(deferred[i])) {
+        ++resolved;
+        progress = true;
+      } else {
+        if (kept != i) deferred[kept] = std::move(deferred[i]);
+        ++kept;
+      }
+    }
+    deferred.resize(kept);
+  }
+  (void)popped;
+  const std::size_t now_deferred = deferred.size();
+  if (now_deferred != was_deferred) {
+    if (now_deferred > was_deferred) {
+      handoff_deferred_count_.fetch_add(now_deferred - was_deferred,
+                                        std::memory_order_acq_rel);
+    } else {
+      handoff_deferred_count_.fetch_sub(was_deferred - now_deferred,
+                                        std::memory_order_acq_rel);
+    }
+  }
+  return resolved;
 }
 
 void FtcNode::ingest_packet(pkt::Packet* p, std::uint32_t thread_id) {
@@ -855,6 +976,7 @@ void FtcNode::park(Work&& work) {
     LockGuard lock(park_mutex_);
     parked_.push_back(std::move(work));
     depth = parked_.size();
+    parked_size_.store(depth, std::memory_order_release);
   }
   stats_.packets_parked->inc();
   trace_->emit(obs::Event::kPacketParked, blocked_on, depth);
@@ -1080,6 +1202,7 @@ void FtcNode::drain_parked() {
       LockGuard lock(park_mutex_);
       if (parked_.empty()) break;
       candidates.swap(parked_);
+      parked_size_.store(0, std::memory_order_release);
     }
     bool progress = false;
     std::vector<Work> still_blocked;
@@ -1109,6 +1232,7 @@ void FtcNode::drain_parked() {
     if (!still_blocked.empty()) {
       LockGuard lock(park_mutex_);
       for (auto& work : still_blocked) parked_.push_back(std::move(work));
+      parked_size_.store(parked_.size(), std::memory_order_release);
     }
     if (!progress) break;
   }
@@ -1269,13 +1393,28 @@ void FtcNode::handle_nack_resp(const net::Message& resp) {
     }
   }
   trace_->emit(obs::Event::kNackApplied, mbox, applied);
-  drain_parked();
+  // Shard mode: the replayed logs were routed into the owners' handoff
+  // rings above; the unblocked parked packets must also re-run on a data
+  // worker (their transactions are shard-owned), so leave the drain to the
+  // workers' idle path instead of transacting from the control thread.
+  if (handoff_mesh_ == nullptr) drain_parked();
 }
 
 void FtcNode::quiesce_and(const std::function<void()>& fn) {
-  quiesced_.store(true, std::memory_order_release);
+  // seq_cst store pairs with the worker's announce-then-check (Dekker):
+  // after the spin below observes active == 0, every worker either saw the
+  // flag before touching anything or has fully left its iteration.
+  quiesced_.store(true, std::memory_order_seq_cst);
   while (active_workers_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
+  }
+  if (handoff_mesh_ != nullptr) {
+    // Workers are parked: write exclusivity transfers to this thread.
+    // Flush in-flight cross-shard portions so fn() (serialization) sees a
+    // consistent cut.
+    for (std::uint32_t w = 0; w < shard_map_->num_workers(); ++w) {
+      drain_handoff(w);
+    }
   }
   fn();
   quiesced_.store(false, std::memory_order_release);

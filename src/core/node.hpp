@@ -15,6 +15,7 @@
 // EgressBuffer.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
@@ -169,6 +170,15 @@ class FtcNode : rt::NonCopyable {
   std::uint32_t bursts_in_flight() const noexcept {
     return bursts_in_flight_.load(std::memory_order_acquire);
   }
+  /// True while any cross-shard handoff ring holds an un-drained portion
+  /// (shard-affine mode). Quiescence checks must consult this: an enqueued
+  /// portion's log counted as applied at classification but its writes
+  /// reach the store only at the owner's drain.
+  bool handoff_pending() const noexcept {
+    return handoff_mesh_ != nullptr &&
+           (!handoff_mesh_->empty() ||
+            handoff_deferred_count_.load(std::memory_order_acquire) != 0);
+  }
   /// This node's protocol event trace (park/NACK/recovery transitions).
   const obs::EventTrace& trace() const noexcept { return *trace_; }
   const rt::Meter& meter() const noexcept { return meter_; }
@@ -252,6 +262,9 @@ class FtcNode : rt::NonCopyable {
   void send_now(net::Port* out, pkt::Packet* p);
   void emit_propagating(PiggybackMessage&& msg);
   void drain_parked();
+  /// Applies every handoff entry queued for worker @p thread_id's shard.
+  /// Returns entries consumed. Owner-only (or control under quiesce).
+  std::size_t drain_handoff(std::uint32_t thread_id);
   void check_parked_timeouts();
   void handle_control();
   void handle_init(const net::Message& req);
@@ -282,6 +295,19 @@ class FtcNode : rt::NonCopyable {
   std::unique_ptr<HeadStore> head_;
   std::map<MboxId, std::unique_ptr<InOrderApplier>> appliers_;
 
+  // Shard-affine mode (cfg.ownership): partition→worker ownership map and
+  // the SPSC handoff mesh carrying cross-shard portions to their owner.
+  // Null in locked mode (and when threads_per_node exceeds the shard cap).
+  std::unique_ptr<state::ShardMap> shard_map_;
+  std::unique_ptr<StateHandoffMesh> handoff_mesh_;
+  /// Per-owner parking lot for drained handoff entries whose predecessor
+  /// seq sits in another producer's ring (rings are FIFO per producer, not
+  /// across producers). Each element is touched only by its owning worker
+  /// (or by control under quiesce); the atomic count feeds quiescence.
+  std::array<std::vector<StateHandoff>, state::ShardMap::kMaxWorkers>
+      handoff_deferred_;
+  std::atomic<std::size_t> handoff_deferred_count_{0};
+
   // Hot-path caches, resolved once in the constructor (appliers_ is
   // immutable after construction): applier() walks this flat array (at
   // most f entries, usually one) instead of the std::map, and tail duty
@@ -300,6 +326,11 @@ class FtcNode : rt::NonCopyable {
   mutable Mutex park_mutex_{ranks::kNode, "node.park"};
   std::vector<Work> parked_ SFC_GUARDED_BY(park_mutex_);
   std::map<MboxId, std::uint64_t> last_nack_ns_ SFC_GUARDED_BY(park_mutex_);
+  /// Mirror of parked_.size(), updated under park_mutex_, read lock-free
+  /// by idle data workers: in shard mode the control thread must not run
+  /// drain_parked (its transactions would dodge shard ownership), so
+  /// workers poll this to pick up control-replayed unblocks.
+  std::atomic<std::size_t> parked_size_{0};
 
   // Threads.
   std::vector<std::unique_ptr<rt::Worker>> workers_;

@@ -4,7 +4,10 @@
 // this server replicates).
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <deque>
 #include <span>
@@ -14,9 +17,26 @@
 #include "core/config.hpp"
 #include "core/dep_vector.hpp"
 #include "core/piggyback.hpp"
+#include "state/handoff_ring.hpp"
+#include "state/shard_map.hpp"
 #include "state/txn.hpp"
 
 namespace sfc::ftc {
+
+class InOrderApplier;
+
+/// One cross-shard portion of a log in flight to its owning worker: the
+/// full dep vector (drain re-classifies against it so racing duplicate
+/// enqueues stale-skip), the sub-mask of partitions destined for this
+/// owner, and the writes materialized and filtered to those partitions.
+struct StateHandoff {
+  InOrderApplier* applier{nullptr};
+  DepVector dep{};
+  std::uint64_t portion{0};
+  state::WriteSet writes;
+};
+
+using StateHandoffMesh = state::HandoffMesh<StateHandoff>;
 
 /// Bounded per-store history of piggyback logs, kept for retransmission to
 /// successors; pruned by commit vectors (paper §4.1/§5.1) and bounded by
@@ -81,6 +101,14 @@ class HeadStore : rt::NonCopyable {
   state::StateStore& store() noexcept { return store_; }
   state::TxnContext& txn_ctx() noexcept { return txn_ctx_; }
 
+  /// Shard-affine head: the single data worker commits transactions
+  /// lock-free (store owner path + txn fast path). Only valid when exactly
+  /// one thread transacts; the node enables this at threads_per_node == 1.
+  void enable_shard_affine() noexcept {
+    store_.enable_shard_affine();
+    txn_ctx_.enable_shard_affine();
+  }
+
   /// Converts a committed transaction into this middlebox's piggyback log
   /// and records it for retransmission.
   PiggybackLog make_log(state::TxnRecord&& record) {
@@ -122,6 +150,15 @@ class InOrderApplier : rt::NonCopyable {
   MboxId mbox() const noexcept { return mbox_; }
   state::StateStore& store() noexcept { return store_; }
 
+  /// Switches this applier to shard-affine apply: the MAX mutex retires in
+  /// favor of per-partition atomic sequence tracking (pseq), owner-hit
+  /// portions apply lock-free through the store's owner path, and portions
+  /// owned by other workers — or everything, when offered from the control
+  /// thread (NACK replay) — travel through @p mesh to their owner, drained
+  /// at burst boundaries. Call before the node's workers start.
+  void enable_shard_affine(const state::ShardMap* map, StateHandoffMesh* mesh);
+  bool shard_affine() const noexcept { return shard_map_ != nullptr; }
+
   enum class Offer : std::uint8_t { kApplied, kDuplicate, kHeld };
 
   /// Attempts to apply @p log. kHeld means a predecessor log is missing
@@ -145,9 +182,32 @@ class InOrderApplier : rt::NonCopyable {
     return r;
   }
 
+  /// Applies the ready portion of a drained handoff entry and clears the
+  /// applied/stale bits from h.portion. Returns true when the entry is
+  /// fully resolved; false leaves the future bits in h.portion — the
+  /// predecessor seq is in another ring of the same owner, so the caller
+  /// defers the entry and retries after draining the rest. Called only by
+  /// the owning worker's drain loop (or under quiesce, when the control
+  /// thread temporarily inherits write exclusivity).
+  bool apply_handoff(StateHandoff& h);
+
   /// Current MAX vector (the tail's commit vector when this replica is the
-  /// tail of its group).
+  /// tail of its group). Shard mode assembles it lock-free from the
+  /// per-partition sequences, INCLUDING the enqueued frontier: a portion
+  /// admitted into a handoff ring is durably in this node and guaranteed
+  /// to apply at the owner's drain, so announcing it keeps the commit a
+  /// packet carries covering the logs that very packet delivered — the
+  /// invariant the egress buffer's release depends on. (NACKs built from
+  /// this vector correctly skip in-flight logs: they are already here.)
   MaxVector max() const {
+    if (shard_map_ != nullptr) {
+      MaxVector out;
+      for (std::size_t p = 0; p < state::kMaxPartitions; ++p) {
+        out.seq[p] = std::max(pseq_[p].load(std::memory_order_acquire),
+                              enq_seq_[p].load(std::memory_order_acquire));
+      }
+      return out;
+    }
     LockGuard lock(mutex_);
     return max_;
   }
@@ -167,14 +227,55 @@ class InOrderApplier : rt::NonCopyable {
   bool deserialize(std::span<const std::uint8_t> in);
 
  private:
+  /// Per-partition classification against pseq: kDuplicate when every
+  /// touched portion is covered, kFuture when any portion skips a
+  /// sequence, else applicable with @p pending = the not-yet-applied
+  /// sub-mask (handles half-applied cross-shard logs).
+  LogFit classify_pending(const DepVector& dep,
+                          std::uint64_t& pending) const noexcept;
+
+  /// Shard-mode offer core: routes @p pending by owner, pre-checks ring
+  /// capacity (all-or-nothing), enqueues foreign portions and returns the
+  /// caller-owned sub-mask to apply directly (in @p mine). Returns false
+  /// when a target ring is full (caller reports kHeld, nothing advanced).
+  bool route_portions(const DepVector& dep, std::uint64_t pending,
+                      std::uint64_t& mine, const WireLog* wire,
+                      const state::WriteSet* writes);
+
+  Offer offer_shard(const PiggybackLog& log);
+  Offer offer_shard_wire(const WireLog& log);
+
+  /// Advances pseq for @p mask to the log's sequence numbers (release:
+  /// published only after the store apply).
+  void advance_pseq(const DepVector& dep, std::uint64_t mask) noexcept {
+    for (std::uint64_t m = mask; m != 0; m &= m - 1) {
+      const auto p = static_cast<std::size_t>(std::countr_zero(m));
+      pseq_[p].store(dep.seq[p], std::memory_order_release);
+    }
+  }
+
   MboxId mbox_;
   state::StateStore store_;
   /// The MAX mutex (paper Fig. 3): held across classify/advance AND the
-  /// store partition apply, so it outranks the partition locks.
+  /// store partition apply, so it outranks the partition locks. Unused on
+  /// the data path in shard-affine mode.
   mutable Mutex mutex_{ranks::kApplier, "ftc.applier_max"};
   MaxVector max_ SFC_GUARDED_BY(mutex_){};
   LogHistory history_;
   std::atomic<std::uint64_t> applied_{0};
+  /// Shard-affine state: per-partition applied sequence numbers (the MAX,
+  /// exploded into atomics so classification never blocks).
+  const state::ShardMap* shard_map_{nullptr};
+  StateHandoffMesh* mesh_{nullptr};
+  std::array<std::atomic<std::uint64_t>, state::kMaxPartitions> pseq_{};
+  /// Enqueued frontier: highest seq per partition admitted into a handoff
+  /// ring (>= pseq while portions are in flight). Classification treats
+  /// seqs <= the frontier as covered — without it, a NACK replay batch
+  /// would enqueue s+1 and then misclassify s+2 as future (pseq only
+  /// advances at the owner's drain) and drop the rest of the batch.
+  /// CAS-max maintained on the cross-shard path only; owner-hit applies
+  /// never touch it.
+  std::array<std::atomic<std::uint64_t>, state::kMaxPartitions> enq_seq_{};
 };
 
 }  // namespace sfc::ftc

@@ -7,8 +7,12 @@ namespace sfc::mbox {
 Verdict Gen::process(state::Txn& txn, pkt::Packet& packet,
                      pkt::ParsedPacket& parsed, ProcessContext& ctx) {
   (void)parsed;
-  // Per-thread key: Gen models write volume, not contention.
-  const state::Key key = state::key_of_name("gen-state") + ctx.thread_id;
+  // Per-thread key by default (Gen models write volume, not contention);
+  // per-flow mode keys on the generator's flow hash so large workloads
+  // populate one store entry per flow.
+  const state::Key key =
+      per_flow_ ? state::key_of_name("gen-state") ^ packet.anno().flow_hash
+                : state::key_of_name("gen-state") + ctx.thread_id;
   // Stack buffer patterned from the packet id, so the replicated value is
   // verifiable downstream.
   std::uint8_t value[4096];

@@ -13,8 +13,13 @@ namespace sfc::mbox {
 
 class Gen final : public Middlebox {
  public:
-  explicit Gen(std::uint32_t state_size_bytes = 32)
-      : state_size_(state_size_bytes) {}
+  /// @param per_flow When true the key is derived from the packet's flow
+  ///        hash instead of the thread id, so an N-flow workload populates
+  ///        N distinct keys — the fig5 million-flow state-size sweep uses
+  ///        this to grow the store to realistic occupancy. Default keeps
+  ///        the historical per-thread key (write volume, not key count).
+  explicit Gen(std::uint32_t state_size_bytes = 32, bool per_flow = false)
+      : state_size_(state_size_bytes), per_flow_(per_flow) {}
 
   std::string_view name() const noexcept override { return "Gen"; }
 
@@ -22,9 +27,11 @@ class Gen final : public Middlebox {
                   pkt::ParsedPacket& parsed, ProcessContext& ctx) override;
 
   std::uint32_t state_size() const noexcept { return state_size_; }
+  bool per_flow() const noexcept { return per_flow_; }
 
  private:
   std::uint32_t state_size_;
+  bool per_flow_;
 };
 
 }  // namespace sfc::mbox

@@ -29,7 +29,7 @@ thread_local TlsSlotCache t_slot_cache;
 
 constexpr const char* kStageNames[kProfStageCount] = {
     "poll",         "view_walk", "log_apply",   "tail_commit", "process",
-    "append",       "egress_flush", "park_drain",
+    "append",       "egress_flush", "park_drain", "handoff_drain",
     "link_send",    "link_poll", "store_apply", "pool_alloc",  "pool_free",
 };
 
@@ -37,7 +37,8 @@ constexpr const char* kCounterNames[kProfCounterCount] = {
     "partition_lock_acquire", "partition_lock_contended",
     "applier_mutex_acquire",  "applier_mutex_contended",
     "pool_alloc_failure",     "pool_free_retry",
-    "send_retry",
+    "send_retry",             "owner_miss",
+    "handoff_push",
 };
 
 double safe_div(double num, double den) { return den > 0 ? num / den : 0.0; }

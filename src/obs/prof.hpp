@@ -51,6 +51,7 @@ enum class ProfStage : std::uint8_t {
   kAppend,       // log append + egress staging / emit
   kEgressFlush,  // burst egress flush (send_burst + blocking stragglers)
   kParkDrain,    // parked-work drain + park bookkeeping
+  kHandoffDrain, // cross-shard handoff ring drain (shard-affine mode)
   // Auxiliary (nested inside primary stages or on non-worker threads):
   kLinkSend,   // Port::send / send_burst internals (Link, ReliableChannel)
   kLinkPoll,   // Port::poll / poll_burst internals
@@ -58,8 +59,8 @@ enum class ProfStage : std::uint8_t {
   kPoolAlloc,  // PacketPool::alloc_raw
   kPoolFree,   // PacketPool::free_raw
 };
-inline constexpr std::size_t kProfStageCount = 13;
-inline constexpr std::size_t kProfPrimaryStageCount = 8;
+inline constexpr std::size_t kProfStageCount = 14;
+inline constexpr std::size_t kProfPrimaryStageCount = 9;
 
 const char* prof_stage_name(ProfStage stage) noexcept;
 
@@ -77,14 +78,17 @@ enum class ProfCounter : std::uint8_t {
   kPoolAllocFailure,       // violation: pool exhausted, alloc returned null
   kPoolFreeRetry,          // violation: free raced a concurrent alloc
   kSendRetry,              // violation: send_blocking spun on a full ring
+  kOwnerMiss,              // violation: shard-affine txn on a non-owner thread
+  kHandoffPush,            // cross-shard write handed to the owning worker
 };
-inline constexpr std::size_t kProfCounterCount = 7;
+inline constexpr std::size_t kProfCounterCount = 9;
 
 const char* prof_counter_name(ProfCounter c) noexcept;
 
 inline constexpr bool prof_counter_is_violation(ProfCounter c) noexcept {
   return c != ProfCounter::kPartitionLockAcquire &&
-         c != ProfCounter::kApplierMutexAcquire;
+         c != ProfCounter::kApplierMutexAcquire &&
+         c != ProfCounter::kHandoffPush;
 }
 
 // ---------------------------------------------------------------------------

@@ -6,9 +6,14 @@ namespace sfc::rt {
 
 namespace {
 thread_local std::string t_worker_name;
+thread_local std::uint32_t t_shard = kNoShard;
 }
 
 std::string_view current_worker_name() noexcept { return t_worker_name; }
+
+std::uint32_t current_shard() noexcept { return t_shard; }
+
+void set_current_shard(std::uint32_t shard) noexcept { t_shard = shard; }
 
 void poll_loop(const std::atomic<bool>& stop, const std::function<bool()>& body) {
   unsigned idle_spins = 0;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -20,6 +21,14 @@ namespace sfc::rt {
 /// threads (main, tests). Observability code uses it to label per-thread
 /// resources (span rings, budget profiler slots) by worker.
 std::string_view current_worker_name() noexcept;
+
+/// Shard identity of the calling thread within its node: data-path workers
+/// carry their worker index (set by the node's burst loop), every other
+/// thread reads kNoShard. The shard-affine state layer uses it to pick the
+/// handoff-ring producer row and to decide partition ownership.
+inline constexpr std::uint32_t kNoShard = 0xffffffffu;
+std::uint32_t current_shard() noexcept;
+void set_current_shard(std::uint32_t shard) noexcept;
 
 class Worker : NonCopyable {
  public:

@@ -1,0 +1,61 @@
+// Partition → worker ownership map (the shard-affine state discipline).
+//
+// Mirrors a multi-queue NIC's RSS indirection table: the FlowKey hash
+// already selects a partition (StateStore::partition_of), and this map
+// assigns each partition to exactly one owning worker thread. The owner is
+// the ONLY thread that mutates the partition's map in shard-affine mode —
+// every other thread hands writes to the owner through a HandoffRing — so
+// the common-case apply runs with no lock and no atomic RMW, the same
+// single-writer shard-per-core idiom as ccbench's TxExecutor.
+//
+// The table is immutable after construction (reconfiguration rebuilds the
+// node), so lookups are plain loads and safe from any thread.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sfc::state {
+
+class ShardMap {
+ public:
+  static constexpr std::uint32_t kMaxWorkers = 16;
+
+  ShardMap() = default;
+
+  /// @param num_partitions Power of two in [1, kMaxPartitions].
+  /// @param num_workers    Data-path worker threads on the owning node.
+  ShardMap(std::size_t num_partitions, std::size_t num_workers) noexcept
+      : partitions_(static_cast<std::uint32_t>(num_partitions)),
+        workers_(num_workers == 0 ? 1u
+                                  : static_cast<std::uint32_t>(num_workers)) {
+    // Round-robin indirection, the RSS default: contiguous partitions land
+    // on distinct workers, so a uniform key hash spreads load evenly.
+    for (std::uint32_t p = 0; p < partitions_; ++p) {
+      owner_[p] = static_cast<std::uint8_t>(p % workers_);
+    }
+  }
+
+  std::uint32_t num_partitions() const noexcept { return partitions_; }
+  std::uint32_t num_workers() const noexcept { return workers_; }
+
+  /// The worker thread index that owns partition @p p.
+  std::uint32_t owner_of(std::size_t p) const noexcept { return owner_[p]; }
+
+  /// Bitmask of the partitions worker @p w owns.
+  std::uint64_t owned_mask(std::uint32_t w) const noexcept {
+    std::uint64_t mask = 0;
+    for (std::uint32_t p = 0; p < partitions_; ++p) {
+      if (owner_[p] == w) mask |= 1ULL << p;
+    }
+    return mask;
+  }
+
+ private:
+  std::array<std::uint8_t, 64> owner_{};
+  std::uint32_t partitions_{1};
+  std::uint32_t workers_{1};
+};
+
+}  // namespace sfc::state

@@ -1,5 +1,6 @@
 #include "state/state_store.hpp"
 
+#include <bit>
 #include <cassert>
 #include <cstring>
 
@@ -42,11 +43,18 @@ const Bytes* StateStore::get_locked(Key key) const noexcept {
 }
 
 void StateStore::put_locked(Key key, Bytes value) {
-  partitions_[partition_of(key)].map.insert_or_assign(key, std::move(value));
+  const auto pidx = partition_of(key);
+  const auto [it, inserted] =
+      partitions_[pidx].map.insert_or_assign(key, std::move(value));
+  (void)it;
+  if (inserted) note_insert(pidx);
 }
 
 bool StateStore::erase_locked(Key key) noexcept {
-  return partitions_[partition_of(key)].map.erase(key) > 0;
+  const auto pidx = partition_of(key);
+  if (partitions_[pidx].map.erase(key) == 0) return false;
+  note_erase(pidx);
+  return true;
 }
 
 void StateStore::apply(std::span<const StateUpdate> updates) {
@@ -94,7 +102,35 @@ void StateStore::apply_wire(std::span<const WireUpdate> updates) {
 }
 
 std::optional<Bytes> StateStore::get(Key key) {
-  auto& part = partitions_[partition_of(key)];
+  const auto pidx = partition_of(key);
+  auto& part = partitions_[pidx];
+  if (shard_affine_) {
+    // The owner never takes the partition lock in shard mode, so taking
+    // it here would not exclude the writer anyway. Seqlock read protocol:
+    // the version acquire synchronizes with the owner's last completed
+    // write section (past writes ordered before this read), the stability
+    // re-check catches a section that opened mid-read, and the trailing
+    // reader-clock release bump is acquired by the owner's next
+    // owner_write_begin (this read ordered before future writes). Exact
+    // for quiesced/converged stores, which is the supported use.
+    auto& occ = occupancy_[pidx];
+    std::optional<Bytes> out;
+    for (;;) {
+      const auto v1 = occ.version.load(std::memory_order_acquire);
+      if ((v1 & 1) != 0) {
+        rt::cpu_relax();
+        continue;
+      }
+      out.reset();
+      if (const auto it = part.map.find(key); it != part.map.end()) {
+        out = it->second;
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (occ.version.load(std::memory_order_relaxed) == v1) break;
+    }
+    occ.reader_clock.fetch_add(1, std::memory_order_release);
+    return out;
+  }
   TxnSlot& slot = this_thread_slot();
   part.lock.lock_apply(&slot);
   std::optional<Bytes> out;
@@ -107,13 +143,106 @@ std::optional<Bytes> StateStore::get(Key key) {
 
 std::size_t StateStore::total_entries() {
   std::size_t total = 0;
-  TxnSlot& slot = this_thread_slot();
   for (std::size_t p = 0; p < num_partitions_; ++p) {
-    partitions_[p].lock.lock_apply(&slot);
-    total += partitions_[p].map.size();
-    partitions_[p].lock.unlock();
+    total += occupancy_[p].keys.load(std::memory_order_acquire);
   }
   return total;
+}
+
+void StateStore::owner_write_begin(std::uint64_t pmask) noexcept {
+  for (std::uint64_t m = pmask & partition_bits(); m != 0; m &= m - 1) {
+    auto& occ = occupancy_[static_cast<std::size_t>(std::countr_zero(m))];
+    // Acquire the foreign readers' clock: any converged-store get() that
+    // bumped it happens-before this section's map writes. One load, no
+    // RMW — the hot path stays single-writer pure.
+    (void)occ.reader_clock.load(std::memory_order_acquire);
+    auto& v = occ.version;
+    v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_release);
+  // Record the open write section as a held pseudo-lock at the very lowest
+  // rank: blocking on ANYTHING (even the logging mutex) inside a seqlock
+  // write aborts, which keeps readers' retry windows bounded.
+  lockrank::note_held(this, ranks::kSeqlockWrite, "state.seqlock_write");
+}
+
+void StateStore::owner_write_end(std::uint64_t pmask) noexcept {
+  lockrank::note_release(this);
+  for (std::uint64_t m = pmask & partition_bits(); m != 0; m &= m - 1) {
+    auto& v = occupancy_[static_cast<std::size_t>(std::countr_zero(m))].version;
+    v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+}
+
+void StateStore::put_owner(Key key, Bytes value) {
+  const auto pidx = partition_of(key);
+  const auto [it, inserted] =
+      partitions_[pidx].map.insert_or_assign(key, std::move(value));
+  (void)it;
+  if (inserted) note_insert(pidx);
+}
+
+bool StateStore::erase_owner(Key key) noexcept {
+  const auto pidx = partition_of(key);
+  if (partitions_[pidx].map.erase(key) == 0) return false;
+  note_erase(pidx);
+  return true;
+}
+
+void StateStore::apply_owner(std::span<const StateUpdate> updates,
+                             std::uint64_t pmask) {
+  obs::ProfStageTimer pt{obs::prof_slot(), obs::ProfStage::kStoreApply};
+  owner_write_begin(pmask);
+  for (const auto& u : updates) {
+    if (((pmask >> partition_of(u.key)) & 1u) == 0) continue;
+    if (u.erase) {
+      erase_owner(u.key);
+    } else {
+      put_owner(u.key, u.value);
+    }
+  }
+  owner_write_end(pmask);
+}
+
+void StateStore::apply_wire_owner(std::span<const WireUpdate> updates,
+                                  std::uint64_t pmask) {
+  obs::ProfStageTimer pt{obs::prof_slot(), obs::ProfStage::kStoreApply};
+  owner_write_begin(pmask);
+  for (const auto& u : updates) {
+    if (((pmask >> partition_of(u.key)) & 1u) == 0) continue;
+    if (u.erase) {
+      erase_owner(u.key);
+    } else {
+      put_owner(u.key, Bytes(u.value.data(), u.value.size()));
+    }
+  }
+  owner_write_end(pmask);
+}
+
+StateStore::OccupancySnapshot StateStore::occupancy(
+    std::size_t pidx) const noexcept {
+  const auto& occ = occupancy_[pidx];
+  for (;;) {
+    const auto v1 = occ.version.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) {
+      rt::cpu_relax();
+      continue;
+    }
+    OccupancySnapshot snap;
+    snap.keys = occ.keys.load(std::memory_order_relaxed);
+    snap.keys_hw = occ.keys_hw.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (occ.version.load(std::memory_order_relaxed) == v1) return snap;
+  }
+}
+
+std::uint64_t StateStore::keys_high_water() const noexcept {
+  std::uint64_t hw = 0;
+  for (std::size_t p = 0; p < num_partitions_; ++p) {
+    const auto v = occupancy_[p].keys_hw.load(std::memory_order_acquire);
+    if (v > hw) hw = v;
+  }
+  return hw;
 }
 
 void StateStore::clear() {
@@ -121,6 +250,7 @@ void StateStore::clear() {
   for (std::size_t p = 0; p < num_partitions_; ++p) {
     partitions_[p].lock.lock_apply(&slot);
     partitions_[p].map.clear();
+    occupancy_[p].keys.store(0, std::memory_order_relaxed);
     partitions_[p].lock.unlock();
   }
 }
@@ -157,7 +287,9 @@ bool StateStore::deserialize(std::span<const std::uint8_t> in) {
         clear();
         return false;
       }
-      partitions_[p].map.emplace(key, Bytes(in.data(), len));
+      if (partitions_[p].map.emplace(key, Bytes(in.data(), len)).second) {
+        note_insert(p);
+      }
       in = in.subspan(len);
     }
     partitions_[p].lock.unlock();

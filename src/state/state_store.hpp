@@ -7,15 +7,25 @@
 // transactions (head side) and of dependency tracking for replication
 // (replica side). Partitioning is deterministic, so every replica of a
 // middlebox assigns each key to the same partition.
+// Shard-affine mode (enable_shard_affine) inverts the concurrency model:
+// each partition has a single writer (its owning worker, see ShardMap),
+// the partition lock is bypassed on the owner path, and monitoring/stats
+// readers snapshot per-partition occupancy through a seqlock instead of
+// blocking the writer. Cross-shard writes reach the owner through
+// HandoffMesh rings (handoff_ring.hpp); readers of the map itself must be
+// the owner or run quiesced (recovery serialize, post-convergence tests) —
+// the seqlock acquire in get() supplies the happens-before edge.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "base/lock_rank.hpp"
 #include "base/thread_annotations.hpp"
 #include "runtime/common.hpp"
 #include "runtime/rng.hpp"
@@ -65,6 +75,11 @@ class StateStore : rt::NonCopyable {
     return rt::splitmix64(key) & partition_mask_;
   }
 
+  /// Bitmask with one bit set per existing partition.
+  std::uint64_t partition_bits() const noexcept {
+    return (partition_mask_ << 1) | 1;
+  }
+
   PartitionLock& partition_lock(std::size_t pidx) noexcept {
     return partitions_[pidx].lock;
   }
@@ -88,11 +103,56 @@ class StateStore : rt::NonCopyable {
   /// once per burst.
   void apply_wire(std::span<const WireUpdate> updates);
 
-  /// Convenience point read that takes the partition lock itself.
+  /// Convenience point read. Locked mode takes the partition lock;
+  /// shard-affine mode is a seqlock reader: version-stable retry loop,
+  /// then a reader-clock release bump that the owner's next write section
+  /// acquires, so a converged-store read is ordered on both sides (exact
+  /// for quiesced/converged stores, the only supported use).
   std::optional<Bytes> get(Key key);
 
-  /// Total entries across partitions (takes all locks; diagnostic only).
+  /// Total entries across partitions. Lock-free: sums the per-partition
+  /// occupancy counters, which are maintained under the same exclusivity
+  /// as the map itself (exact whenever the store is quiesced).
   std::size_t total_entries();
+
+  // --- Shard-affine (single-writer) mode. -------------------------------
+  /// Switches the store to shard-affine apply: *_owner mutators skip the
+  /// partition lock entirely. The caller guarantees the single-writer
+  /// discipline — each partition mutated only by its owning worker thread,
+  /// or by any thread while the node is quiesced.
+  void enable_shard_affine() noexcept { shard_affine_ = true; }
+  bool shard_affine() const noexcept { return shard_affine_; }
+
+  /// Opens/closes a seqlock write section over the partitions in @p pmask:
+  /// version goes odd, mutations land, version goes even with release so
+  /// stats readers retry instead of blocking and get() readers inherit the
+  /// happens-before. Sections must be tiny — the kSeqlockWrite lock rank
+  /// aborts the run if the owner blocks on ANY lock inside one.
+  void owner_write_begin(std::uint64_t pmask) noexcept;
+  void owner_write_end(std::uint64_t pmask) noexcept;
+
+  /// Owner-path mutators: no lock, no atomic RMW. Call inside an
+  /// owner_write_begin/end section covering the key's partition.
+  void put_owner(Key key, Bytes value);
+  bool erase_owner(Key key) noexcept;
+
+  /// Owner-path batch applies. @p pmask filters: updates whose partition
+  /// is outside the mask are skipped (the cross-shard portion a handoff
+  /// ring delivers to another owner). Pass ~0ull to apply everything.
+  void apply_owner(std::span<const StateUpdate> updates, std::uint64_t pmask);
+  void apply_wire_owner(std::span<const WireUpdate> updates,
+                        std::uint64_t pmask);
+
+  /// Seqlock-consistent occupancy snapshot of one partition. Never blocks
+  /// the writer; retries while a write section is open.
+  struct OccupancySnapshot {
+    std::uint64_t keys{0};
+    std::uint64_t keys_hw{0};
+  };
+  OccupancySnapshot occupancy(std::size_t pidx) const noexcept;
+
+  /// Highest per-partition occupancy high-water mark (registry gauge).
+  std::uint64_t keys_high_water() const noexcept;
 
   /// Drops all entries (takes all locks).
   void clear();
@@ -112,9 +172,43 @@ class StateStore : rt::NonCopyable {
     std::unordered_map<Key, Bytes> map;
   };
 
+  /// Per-partition occupancy stats, written only under the partition's
+  /// write exclusivity (lock or shard ownership) and read through the
+  /// seqlock. Cache-line padded: the owner's version bump must not false-
+  /// share with a neighboring partition's owner.
+  struct alignas(rt::kCacheLineSize) Occupancy {
+    std::atomic<std::uint64_t> version{0};  ///< seqlock; odd = write open
+    std::atomic<std::uint64_t> keys{0};
+    std::atomic<std::uint64_t> keys_hw{0};
+    /// Bumped (release) by a foreign get() after its map read completes;
+    /// acquire-loaded by owner_write_begin. Orders converged-store reads
+    /// before the owner's NEXT write section — the direction the seqlock
+    /// version alone cannot give (version end-release only orders past
+    /// writes before later reads).
+    std::atomic<std::uint64_t> reader_clock{0};
+  };
+
+  /// Single-writer counter maintenance (no RMW: exclusivity comes from the
+  /// partition lock or shard ownership).
+  void note_insert(std::size_t pidx) noexcept {
+    auto& occ = occupancy_[pidx];
+    const auto keys = occ.keys.load(std::memory_order_relaxed) + 1;
+    occ.keys.store(keys, std::memory_order_relaxed);
+    if (keys > occ.keys_hw.load(std::memory_order_relaxed)) {
+      occ.keys_hw.store(keys, std::memory_order_relaxed);
+    }
+  }
+  void note_erase(std::size_t pidx) noexcept {
+    auto& occ = occupancy_[pidx];
+    occ.keys.store(occ.keys.load(std::memory_order_relaxed) - 1,
+                   std::memory_order_relaxed);
+  }
+
   std::size_t num_partitions_;
   std::size_t partition_mask_;
+  bool shard_affine_{false};
   std::array<Partition, kMaxPartitions> partitions_;
+  std::array<Occupancy, kMaxPartitions> occupancy_;
 };
 
 /// Derives a state key from a name string (for named shared variables like

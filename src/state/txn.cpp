@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/prof.hpp"
+
 namespace sfc::state {
 
 std::array<std::uint64_t, kMaxPartitions> TxnContext::sequence_snapshot()
@@ -15,9 +17,19 @@ void TxnContext::restore_sequences(
 }
 
 Txn::Txn(TxnContext& ctx, std::uint64_t ts)
-    : ctx_(ctx), slot_(this_thread_slot()), ts_(ts) {
+    : ctx_(ctx),
+      slot_(this_thread_slot()),
+      ts_(ts),
+      fast_(ctx.shard_affine_ && ctx.claim_owner(&slot_)) {
   slot_.ts.store(ts_, std::memory_order_relaxed);
   slot_.wounded.store(false, std::memory_order_relaxed);
+  if (ctx.shard_affine_ && !fast_) {
+    // Non-owner thread transacting on a shard-affine context: take the
+    // locked path and flag it — in shipped wiring only the single data
+    // worker transacts, so this is a quiet-mode violation.
+    ctx.owner_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::prof_count(obs::ProfCounter::kOwnerMiss);
+  }
 }
 
 Txn::~Txn() {
@@ -26,8 +38,10 @@ Txn::~Txn() {
 
 void Txn::check_wounded() {
   // Only meaningful while we hold at least one lock: a transaction that
-  // holds nothing cannot be blocking anyone.
-  if (locked_mask_ != 0 && slot_.wounded.load(std::memory_order_acquire)) {
+  // holds nothing cannot be blocking anyone. Owner-hit shard transactions
+  // hold no locks and cannot be wounded.
+  if (!fast_ && locked_mask_ != 0 &&
+      slot_.wounded.load(std::memory_order_acquire)) {
     ctx_.aborts_.fetch_add(1, std::memory_order_relaxed);
     throw TxnAborted{};
   }
@@ -37,6 +51,12 @@ std::size_t Txn::acquire(Key key) {
   ++accesses_;
   const std::size_t p = ctx_.store_.partition_of(key);
   const std::uint64_t bit = 1ULL << p;
+  if (fast_) {
+    // Owner hit: the single-writer discipline makes the partition ours by
+    // construction — just track the touched set for the dependency vector.
+    locked_mask_ |= bit;
+    return p;
+  }
   if ((locked_mask_ & bit) == 0) {
     if (!ctx_.store_.partition_lock(p).lock(&slot_)) {
       ctx_.aborts_.fetch_add(1, std::memory_order_relaxed);
@@ -112,19 +132,39 @@ TxnRecord Txn::commit() {
       }
     }
 
-    for (const auto& w : final_writes) {
-      if (w.erase) {
-        ctx_.store_.erase_locked(w.key);
-      } else {
-        ctx_.store_.put_locked(w.key, w.value);
+    if (fast_) {
+      // Owner-hit commit: no locks, no atomic RMW — apply inside the
+      // seqlock write section so stats readers snapshot consistently and
+      // get() readers inherit the happens-before from the version bump.
+      ctx_.store_.owner_write_begin(record.touched_mask);
+      for (const auto& w : final_writes) {
+        if (w.erase) {
+          ctx_.store_.erase_owner(w.key);
+        } else {
+          ctx_.store_.put_owner(w.key, w.value);
+        }
       }
-    }
-    // Bump the dependency vector for every touched partition — read or
-    // written (paper §4.3) — while still holding the locks, so the
-    // sequence numbers map this transaction to a valid serial order.
-    for (std::size_t p = 0; p < kMaxPartitions; ++p) {
-      if (record.touched_mask & (1ULL << p)) {
-        record.seqs[p] = ++ctx_.seq_[p];
+      for (std::size_t p = 0; p < kMaxPartitions; ++p) {
+        if (record.touched_mask & (1ULL << p)) {
+          record.seqs[p] = ++ctx_.seq_[p];
+        }
+      }
+      ctx_.store_.owner_write_end(record.touched_mask);
+    } else {
+      for (const auto& w : final_writes) {
+        if (w.erase) {
+          ctx_.store_.erase_locked(w.key);
+        } else {
+          ctx_.store_.put_locked(w.key, w.value);
+        }
+      }
+      // Bump the dependency vector for every touched partition — read or
+      // written (paper §4.3) — while still holding the locks, so the
+      // sequence numbers map this transaction to a valid serial order.
+      for (std::size_t p = 0; p < kMaxPartitions; ++p) {
+        if (record.touched_mask & (1ULL << p)) {
+          record.seqs[p] = ++ctx_.seq_[p];
+        }
       }
     }
     record.writes = std::move(final_writes);
@@ -143,6 +183,11 @@ void Txn::rollback() noexcept {
 }
 
 void Txn::release_locks() noexcept {
+  if (fast_) {
+    // Nothing was locked; the mask only tracked the touched set.
+    locked_mask_ = 0;
+    return;
+  }
   for (std::size_t p = 0; p < kMaxPartitions; ++p) {
     if (locked_mask_ & (1ULL << p)) ctx_.store_.partition_lock(p).unlock();
   }

@@ -85,13 +85,48 @@ class TxnContext : rt::NonCopyable {
     return aborts_.load(std::memory_order_relaxed);
   }
 
+  // --- Shard-affine fast path. ------------------------------------------
+  /// Enables the lock-free single-writer commit: transactions from the
+  /// owning thread skip the partition locks and wound-wait entirely, and
+  /// commit through the store's seqlock write section. The store must be
+  /// shard-affine. Ownership is claimed lazily by the first transacting
+  /// thread (one CAS, then a plain load+compare per transaction) and reset
+  /// by the node at (re)start; a transaction from any OTHER thread falls
+  /// back to the locked path and counts an owner miss — unreachable in
+  /// shipped wiring, where only the single data worker transacts.
+  void enable_shard_affine() noexcept { shard_affine_ = true; }
+  bool shard_affine() const noexcept { return shard_affine_; }
+
+  /// Clears the lazy ownership claim (call while quiesced, e.g. before
+  /// worker threads start, so the new data thread can claim).
+  void reset_owner() noexcept {
+    owner_.store(nullptr, std::memory_order_release);
+  }
+
+  /// Transactions that ran on a non-owner thread in shard-affine mode.
+  std::uint64_t owner_misses() const noexcept {
+    return owner_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Txn;
+
+  /// True when the calling thread (identified by its TxnSlot) is — or just
+  /// became — the claimed owner.
+  bool claim_owner(const void* self) noexcept {
+    const void* cur = owner_.load(std::memory_order_relaxed);
+    if (cur == self) return true;
+    return cur == nullptr && owner_.compare_exchange_strong(
+                                 cur, self, std::memory_order_acq_rel);
+  }
 
   StateStore& store_;
   std::atomic<std::uint64_t> next_ts_{1};
   std::array<std::uint64_t, kMaxPartitions> seq_{};
   std::atomic<std::uint64_t> aborts_{0};
+  bool shard_affine_{false};
+  std::atomic<const void*> owner_{nullptr};
+  std::atomic<std::uint64_t> owner_misses_{0};
 };
 
 class Txn : rt::NonCopyable {
@@ -143,6 +178,9 @@ class Txn : rt::NonCopyable {
   TxnContext& ctx_;
   TxnSlot& slot_;
   std::uint64_t ts_;
+  /// Owner-hit shard-affine transaction: no partition locks, no wound-
+  /// wait; locked_mask_ tracks *touched* partitions only.
+  const bool fast_;
   std::uint32_t accesses_{0};
   std::uint64_t locked_mask_{0};
   WriteSet writes_;

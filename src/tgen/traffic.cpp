@@ -1,6 +1,7 @@
 #include "tgen/traffic.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "runtime/clock.hpp"
@@ -16,7 +17,31 @@ TrafficSource::TrafficSource(pkt::PacketPool& pool, net::Port& out,
       limiter_(rate_pps),
       sampler_(workload.trace_sample, workload.seed),
       spans_(spans),
-      burst_(std::clamp<std::size_t>(workload.burst, 1, ftc::kMaxBurst)) {}
+      burst_(std::clamp<std::size_t>(workload.burst, 1, ftc::kMaxBurst)),
+      rng_(workload.seed, 0x7467656e) {
+  if (workload_.churn_mean_packets != 0) {
+    active_.resize(workload_.num_flows);
+    for (auto& f : active_) {
+      f.index = fresh_index_++;
+      f.remaining = sample_lifetime();
+    }
+  }
+}
+
+std::uint64_t TrafficSource::sample_lifetime() noexcept {
+  // Pareto with shape alpha and scale xm chosen so the mean
+  // xm * alpha / (alpha - 1) equals churn_mean_packets. Inverse-CDF
+  // sampling: xm * (1 - u)^(-1/alpha); clamped so a single elephant flow
+  // cannot pin its table slot for an entire long run.
+  const double alpha = std::max(1.01, workload_.churn_alpha);
+  const double mean = static_cast<double>(workload_.churn_mean_packets);
+  const double xm = mean * (alpha - 1.0) / alpha;
+  const double u =
+      (static_cast<double>(rng_.next()) + 0.5) / 4294967296.0;  // (0, 1)
+  const double draw = xm * std::pow(1.0 - u, -1.0 / alpha);
+  return static_cast<std::uint64_t>(
+      std::clamp(draw, 1.0, 10'000'000.0));
+}
 
 void TrafficSource::start() {
   if (worker_) return;
@@ -45,8 +70,23 @@ bool TrafficSource::body() {
       pool_stalls_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
-    const pkt::FlowKey flow = workload_.flow(next_flow_);
-    next_flow_ = (next_flow_ + 1) % workload_.num_flows;
+    std::size_t flow_index;
+    if (active_.empty()) {
+      flow_index = next_flow_;
+      next_flow_ = (next_flow_ + 1) % workload_.num_flows;
+    } else {
+      // Churn: round-robin over the active table; an exhausted slot is
+      // reborn as a never-seen flow with a fresh Pareto lifetime.
+      ActiveFlow& slot = active_[next_flow_];
+      next_flow_ = (next_flow_ + 1) % active_.size();
+      if (slot.remaining == 0) {
+        slot.index = fresh_index_++;
+        slot.remaining = sample_lifetime();
+      }
+      --slot.remaining;
+      flow_index = slot.index;
+    }
+    const pkt::FlowKey flow = workload_.flow(flow_index);
 
     if (workload_.tcp) {
       pkt::PacketBuilder(*p).tcp(flow, workload_.frame_len);

@@ -44,6 +44,18 @@ struct Workload {
   /// one bulk send; the sink drains in bursts. At a limited rate the fill
   /// stops at the pacing deadline, so bursting never distorts latency.
   std::size_t burst{32};
+  /// Flow churn: mean flow lifetime in packets (0 = flows live forever,
+  /// the historical behavior). When set, the source keeps a table of
+  /// num_flows concurrently-active flows whose lifetimes are drawn from a
+  /// bounded Pareto (heavy-tailed, like real flow-size distributions);
+  /// an expired flow is replaced by a brand-new 5-tuple, so long runs keep
+  /// inserting fresh keys into per-flow middlebox state — the fig5
+  /// large-state sweeps use this to exercise insert/evict churn instead of
+  /// a static working set.
+  std::uint64_t churn_mean_packets{0};
+  /// Pareto shape for churn lifetimes. Must be > 1 (finite mean); smaller
+  /// = heavier tail (a few elephant flows, many mice).
+  double churn_alpha{1.5};
 
   pkt::FlowKey flow(std::size_t i) const noexcept {
     pkt::FlowKey f;
@@ -83,8 +95,23 @@ class TrafficSource : rt::NonCopyable {
   obs::SpanCollector* spans_{nullptr};
   std::unique_ptr<rt::Worker> worker_;
 
+  /// One concurrently-active flow under churn: the workload flow index it
+  /// currently impersonates and how many more packets it emits before a
+  /// fresh flow replaces it.
+  struct ActiveFlow {
+    std::size_t index{0};
+    std::uint64_t remaining{0};
+  };
+
+  /// Bounded-Pareto lifetime draw (packets) with mean churn_mean_packets.
+  std::uint64_t sample_lifetime() noexcept;
+
   std::size_t next_flow_{0};
   std::size_t burst_{1};  ///< workload.burst clamped to [1, kMaxBurst].
+  /// Churn state (empty when churn_mean_packets == 0).
+  std::vector<ActiveFlow> active_;
+  std::size_t fresh_index_{0};  ///< Next never-used flow index.
+  rt::Pcg32 rng_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> pool_stalls_{0};
   rt::Meter meter_;

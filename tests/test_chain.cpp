@@ -56,6 +56,23 @@ void pump_and_wait(ChainRuntime& chain, std::uint64_t packets,
   while (sink.packets_received() < packets && rt::now_ns() < deadline) {
     std::this_thread::yield();
   }
+  // Drain stragglers before stopping the sink: the source can overshoot
+  // `packets` between our observation and stop() taking effect, and
+  // stopping the sink with packets still in flight wedges them behind the
+  // egress link — per-mode bookkeeping (e.g. FTMB PAL counters) would then
+  // never settle. Wait until the received count is stable for a beat.
+  std::uint64_t last_received = sink.packets_received();
+  std::uint64_t stable_since = rt::now_ns();
+  while (rt::now_ns() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const std::uint64_t now_received = sink.packets_received();
+    if (now_received != last_received) {
+      last_received = now_received;
+      stable_since = rt::now_ns();
+    } else if (rt::now_ns() - stable_since > 50'000'000ull) {
+      break;
+    }
+  }
   sink.stop();
   ASSERT_GE(sink.packets_received(), packets) << "chain did not deliver";
 }

@@ -39,6 +39,7 @@ TEST(ProfNames, StagesAndCountersNamed) {
   // Primary stages lead the enum; aux stages follow.
   EXPECT_TRUE(prof_stage_primary(ProfStage::kPoll));
   EXPECT_TRUE(prof_stage_primary(ProfStage::kParkDrain));
+  EXPECT_TRUE(prof_stage_primary(ProfStage::kHandoffDrain));
   EXPECT_FALSE(prof_stage_primary(ProfStage::kLinkSend));
   EXPECT_FALSE(prof_stage_primary(ProfStage::kPoolFree));
   // Plain acquisitions are bookkeeping; everything else trips quiet mode.

@@ -109,6 +109,10 @@ void run_manual_failure_case(std::size_t burst_size) {
   source2.stop();
   EXPECT_GE(sink.packets_received(), before + 500);
 
+  // Converge before reading: shard-affine get() supports quiesced stores
+  // only (straggler packets past the received-count check would otherwise
+  // still be committing while we read).
+  quiesce(chain);
   // The new head continues counting from the restored value.
   EXPECT_GT(monitor_count(new_node), pre_failure_count);
 
@@ -150,7 +154,11 @@ TEST(Recovery, HeartbeatMonitorDetectsAndRecovers) {
   // The monitor must detect the silence and complete recovery on its own.
   const auto deadline = rt::now_ns() + 15'000'000'000ull;
   while (rt::now_ns() < deadline) {
-    if (chain.ftc_node(2)->id() != old_id && !chain.ftc_node(2)->has_failed()) {
+    // The monitor swaps the replacement in before appending its report —
+    // wait for both, or the assertions below race with the tail of the
+    // monitor's recovery pass.
+    if (chain.ftc_node(2)->id() != old_id && !chain.ftc_node(2)->has_failed() &&
+        !orch.reports().empty()) {
       break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -270,7 +278,10 @@ TEST(Recovery, NatStateSurvivesFailover) {
   source.start();
   pump(chain, source, sink, 600);
   source.stop();
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Converge before reading the mappings: stragglers past the pump target
+  // are still creating NAT entries, and shard-affine get() supports
+  // quiesced stores only.
+  quiesce(chain);
 
   std::vector<state::Bytes> mappings;
   for (std::size_t i = 0; i < w.num_flows; ++i) {
@@ -282,6 +293,7 @@ TEST(Recovery, NatStateSurvivesFailover) {
   chain.fail_position(1);
   auto reports = orch.recover({1});
   ASSERT_TRUE(reports[0].success);
+  quiesce(chain);
 
   for (std::size_t i = 0; i < w.num_flows; ++i) {
     auto entry = chain.ftc_node(1)->head()->store().get(w.flow(i).hash());
